@@ -1,0 +1,33 @@
+// Command aigstat prints interface and structural statistics of AIGER
+// files: PI/PO counts, AND nodes, logic levels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simsweep"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: aigstat file.aig ...")
+		os.Exit(2)
+	}
+	fail := false
+	for _, path := range flag.Args() {
+		g, err := simsweep.ReadAIGERFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigstat:", err)
+			fail = true
+			continue
+		}
+		fmt.Printf("%-30s pi=%-8d po=%-8d and=%-10d lev=%d\n",
+			path, g.NumPIs(), g.NumPOs(), g.NumAnds(), g.Level())
+	}
+	if fail {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,122 @@
+// Command benchtab regenerates the paper's evaluation artifacts on
+// CPU-scaled instances of the nine benchmark families:
+//
+//	benchtab -table 2        Table II  (runtime comparison + geomean)
+//	benchtab -fig 6          Figure 6  (engine phase breakdown)
+//	benchtab -fig 7          Figure 7  (SAT time on P/PG/PGL miters)
+//	benchtab -all            everything
+//
+// -size scales the instances (1 = quick, 2 = larger); -only restricts to a
+// comma-separated list of families.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simsweep/internal/bench"
+	"simsweep/internal/par"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	table := flag.Int("table", 0, "regenerate Table N (2)")
+	fig := flag.Int("fig", 0, "regenerate Figure N (6 or 7)")
+	ablation := flag.String("ablation", "", "run an ablation group: window-merge, similarity, passes, extensions")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	size := flag.Int("size", 1, "instance size (1 quick, 2 larger)")
+	only := flag.String("only", "", "comma-separated benchmark families to run")
+	workers := flag.Int("workers", 0, "parallel workers (0: all CPUs)")
+	seed := flag.Int64("seed", 1, "random simulation seed")
+	flag.Parse()
+
+	if *all {
+		*table = 2
+		*fig = 67
+	}
+	if *table == 0 && *fig == 0 && *ablation == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchtab (-table 2 | -fig 6 | -fig 7 | -ablation g | -all) [-size N] [-only a,b]")
+		flag.PrintDefaults()
+		return 2
+	}
+
+	cases := bench.Suite(*size)
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []bench.Case
+		for _, c := range cases {
+			if keep[c.Name] {
+				filtered = append(filtered, c)
+			}
+		}
+		cases = filtered
+	}
+	opts := bench.Options{Workers: *workers, Seed: *seed}
+	dev := par.NewDevice(*workers)
+
+	instances := make([]*bench.Instance, 0, len(cases))
+	fmt.Println("building instances (generate -> double -> resyn2 -> miter):")
+	for _, c := range cases {
+		inst, err := bench.Build(c, dev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		fmt.Printf("  %-18s %s\n", c, inst.Miter.Stats())
+		instances = append(instances, inst)
+	}
+	fmt.Println()
+
+	if *table == 2 {
+		rows := make([]bench.Table2Row, 0, len(instances))
+		for _, inst := range instances {
+			fmt.Printf("table 2: running %s ...\n", inst.Case)
+			rows = append(rows, bench.RunTable2Case(inst, opts))
+		}
+		bench.SortRowsPaperOrder(rows)
+		fmt.Println("\n=== Table II: runtime comparison ===")
+		fmt.Print(bench.FormatTable2(rows))
+		fmt.Println()
+	}
+	if *fig == 6 || *fig == 67 {
+		rows := make([]bench.Figure6Row, 0, len(instances))
+		for _, inst := range instances {
+			rows = append(rows, bench.RunFigure6Case(inst, opts))
+		}
+		fmt.Println("=== Figure 6: engine runtime breakdown ===")
+		fmt.Print(bench.FormatFigure6(rows))
+		fmt.Println()
+	}
+	if *ablation != "" {
+		var rows []bench.AblationRow
+		for _, inst := range instances {
+			r, err := bench.RunAblation(*ablation, inst, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				return 2
+			}
+			rows = append(rows, r...)
+		}
+		fmt.Println("=== Ablation ===")
+		fmt.Print(bench.FormatAblation(*ablation, rows))
+		fmt.Println()
+	}
+	if *fig == 7 || *fig == 67 {
+		rows := make([]bench.Figure7Row, 0, len(instances))
+		for _, inst := range instances {
+			fmt.Printf("figure 7: running %s ...\n", inst.Case)
+			rows = append(rows, bench.RunFigure7Case(inst, opts))
+		}
+		fmt.Println("\n=== Figure 7: SAT time on intermediate miters (normalised) ===")
+		fmt.Print(bench.FormatFigure7(rows))
+	}
+	return 0
+}

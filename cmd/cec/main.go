@@ -1,0 +1,151 @@
+// Command cec checks the combinational equivalence of two AIGER netlists
+// (or decides a single miter) with the simulation-based sweeping engine,
+// the SAT sweeping baseline, the BDD engine, the hybrid sim+SAT flow or a
+// portfolio of all of them.
+//
+// Usage:
+//
+//	cec [-engine hybrid|sim|sat|bdd|portfolio] a.aig b.aig
+//	cec -miter m.aig
+//
+// Exit status: 0 equivalent, 1 not equivalent, 2 undecided or error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simsweep"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	engine := flag.String("engine", "hybrid", "checking engine: hybrid, sim, sat, bdd, portfolio")
+	miterPath := flag.String("miter", "", "check a prebuilt miter instead of two circuits")
+	seq := flag.Bool("seq", false, "treat AIGER inputs as sequential: cut at the latch boundary")
+	dump := flag.String("dump", "", "write the final (reduced) miter to this AIGER file")
+	workers := flag.Int("workers", 0, "parallel workers (0: all CPUs)")
+	seed := flag.Int64("seed", 1, "random simulation seed")
+	conflicts := flag.Int64("C", 0, "SAT conflict limit per call (0: unlimited)")
+	verbose := flag.Bool("v", false, "print per-phase statistics")
+	flag.Parse()
+
+	opts := simsweep.Options{
+		Engine:        simsweep.Engine(*engine),
+		Workers:       *workers,
+		Seed:          *seed,
+		ConflictLimit: *conflicts,
+	}
+
+	var res simsweep.Result
+	var err error
+	switch {
+	case *miterPath != "":
+		if flag.NArg() != 0 {
+			return usage()
+		}
+		var m *simsweep.AIG
+		if m, err = simsweep.ReadNetlistFile(*miterPath); err == nil {
+			fmt.Printf("miter: %s\n", m.Stats())
+			res, err = simsweep.CheckMiter(m, opts)
+		}
+	case flag.NArg() == 2:
+		var a, b *simsweep.AIG
+		if *seq {
+			var la, lb int
+			if a, la, err = simsweep.ReadSequentialAIGERFile(flag.Arg(0)); err != nil {
+				break
+			}
+			if b, lb, err = simsweep.ReadSequentialAIGERFile(flag.Arg(1)); err != nil {
+				break
+			}
+			if la != lb {
+				err = fmt.Errorf("latch counts differ: %d vs %d (state encodings must match)", la, lb)
+				break
+			}
+			fmt.Printf("latch-boundary cut: %d latches\n", la)
+		} else {
+			if a, err = simsweep.ReadNetlistFile(flag.Arg(0)); err != nil {
+				break
+			}
+			if b, err = simsweep.ReadNetlistFile(flag.Arg(1)); err != nil {
+				break
+			}
+		}
+		fmt.Printf("a: %s\nb: %s\n", a.Stats(), b.Stats())
+		res, err = simsweep.CheckEquivalence(a, b, opts)
+	default:
+		return usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cec:", err)
+		return 2
+	}
+
+	fmt.Printf("verdict: %s (engine %s, %v)\n", res.Outcome, res.EngineUsed, res.Runtime.Round(1e6))
+	if res.SimStats != nil {
+		fmt.Printf("sim engine: reduced %.1f%% of the miter", res.ReducedPercent)
+		if res.SATTime > 0 {
+			fmt.Printf("; SAT backend took %v", res.SATTime.Round(1e6))
+		}
+		fmt.Println()
+	}
+	if *verbose {
+		for _, ph := range res.SimPhases {
+			fmt.Printf("  phase %s: %6d checked %6d proved %6d disproved  %v  (%d ANDs left)\n",
+				ph.Kind, ph.Checked, ph.Proved, ph.Disproved, ph.Duration.Round(1e6), ph.AndsAfter)
+		}
+		if len(res.Journal) > 0 {
+			fmt.Printf("  proof journal: %d merges", len(res.Journal))
+			byPhase := map[string]int{}
+			for _, e := range res.Journal {
+				byPhase[e.Phase.String()]++
+			}
+			for _, k := range []string{"P", "G", "L"} {
+				if byPhase[k] > 0 {
+					fmt.Printf("  %s=%d", k, byPhase[k])
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if *dump != "" && res.Reduced != nil {
+		if werr := simsweep.WriteAIGERFile(*dump, res.Reduced); werr != nil {
+			fmt.Fprintln(os.Stderr, "cec: dump:", werr)
+		} else {
+			fmt.Printf("reduced miter written to %s (%s)\n", *dump, res.Reduced.Stats())
+		}
+	}
+	if res.Outcome == simsweep.NotEquivalent && res.CEX != nil {
+		fmt.Print("counter-example:")
+		for i, v := range res.CEX {
+			if i >= 64 {
+				fmt.Printf(" … (%d inputs total)", len(res.CEX))
+				break
+			}
+			if v {
+				fmt.Print(" 1")
+			} else {
+				fmt.Print(" 0")
+			}
+		}
+		fmt.Println()
+	}
+	switch res.Outcome {
+	case simsweep.Equivalent:
+		return 0
+	case simsweep.NotEquivalent:
+		return 1
+	}
+	return 2
+}
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, "usage: cec [flags] a.aig b.aig   |   cec [flags] -miter m.aig")
+	flag.PrintDefaults()
+	return 2
+}

@@ -1,0 +1,93 @@
+// Command sat is a standalone DIMACS CNF solver exposing the toolkit's
+// built-in CDCL engine, plus an AIGER miter → DIMACS exporter.
+//
+//	sat problem.cnf              solve a DIMACS file (SAT-competition-style output)
+//	sat -export miter.aig        print the miter's CNF (satisfiable <=> not equivalent)
+//
+// Exit status follows the SAT competition convention: 10 SAT, 20 UNSAT,
+// 0 unknown, 2 error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simsweep"
+	"simsweep/internal/cnf"
+	"simsweep/internal/sat"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	export := flag.String("export", "", "export the CNF of an AIGER miter instead of solving")
+	conflicts := flag.Int64("C", 0, "conflict limit (0: unlimited)")
+	model := flag.Bool("model", true, "print the model of a satisfiable formula")
+	flag.Parse()
+
+	if *export != "" {
+		g, err := simsweep.ReadAIGERFile(*export)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sat:", err)
+			return 2
+		}
+		if err := cnf.ExportMiter(os.Stdout, g); err != nil {
+			fmt.Fprintln(os.Stderr, "sat:", err)
+			return 2
+		}
+		return 0
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sat [-C n] problem.cnf   |   sat -export miter.aig")
+		flag.PrintDefaults()
+		return 2
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sat:", err)
+		return 2
+	}
+	defer f.Close()
+	formula, err := cnf.ParseDIMACS(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sat:", err)
+		return 2
+	}
+	fmt.Printf("c %d variables, %d clauses\n", formula.NumVars, len(formula.Clauses))
+
+	solver := sat.New()
+	solver.SetConflictLimit(*conflicts)
+	mapping, ok := formula.LoadInto(solver)
+	st := sat.Unsat
+	if ok {
+		st = solver.Solve()
+	}
+	stats := solver.Stats()
+	fmt.Printf("c conflicts=%d decisions=%d propagations=%d restarts=%d\n",
+		stats.Conflicts, stats.Decisions, stats.Propagations, stats.Restarts)
+	switch st {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		if *model {
+			fmt.Print("v")
+			for v := 1; v <= formula.NumVars; v++ {
+				if solver.Value(mapping[v]) {
+					fmt.Printf(" %d", v)
+				} else {
+					fmt.Printf(" %d", -v)
+				}
+			}
+			fmt.Println(" 0")
+		}
+		return 10
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		return 20
+	}
+	fmt.Println("s UNKNOWN")
+	return 0
+}

@@ -1,0 +1,97 @@
+// Frontends: check designs arriving as gate-level Verilog and as
+// sequential AIGER. The Verilog pair is a hierarchical 4-bit adder vs a
+// flat assign-style one; the sequential pair is two encodings of the same
+// toggle counter, checked after latch-boundary cutting.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"simsweep"
+)
+
+const hierarchical = `
+module ha (a, b, s, c);
+  input a, b; output s, c;
+  xor (s, a, b);
+  and (c, a, b);
+endmodule
+
+module fa (x, y, cin, sum, cout);
+  input x, y, cin; output sum, cout;
+  wire s1, c1, c2;
+  ha u1 (.a(x), .b(y), .s(s1), .c(c1));
+  ha u2 (s1, cin, sum, c2);
+  or (cout, c1, c2);
+endmodule
+
+module adder4 (a, b, sum);
+  input [3:0] a, b;
+  output [4:0] sum;
+  wire c0, c1, c2;
+  fa f0 (a[0], b[0], 1'b0, sum[0], c0);
+  fa f1 (a[1], b[1], c0,   sum[1], c1);
+  fa f2 (a[2], b[2], c1,   sum[2], c2);
+  fa f3 (a[3], b[3], c2,   sum[3], sum[4]);
+endmodule
+`
+
+const flat = `
+module adder4 (a, b, sum);
+  input [3:0] a, b;
+  output [4:0] sum;
+  wire c0, c1, c2;
+  assign sum[0] = a[0] ^ b[0];
+  assign c0     = a[0] & b[0];
+  assign sum[1] = a[1] ^ b[1] ^ c0;
+  assign c1     = (a[1] & b[1]) | (c0 & (a[1] ^ b[1]));
+  assign sum[2] = a[2] ^ b[2] ^ c1;
+  assign c2     = (a[2] & b[2]) | (c1 & (a[2] ^ b[2]));
+  assign sum[3] = a[3] ^ b[3] ^ c2;
+  assign sum[4] = (a[3] & b[3]) | (c2 & (a[3] ^ b[3]));
+endmodule
+`
+
+// Two sequential encodings of a toggle flop (next = q ^ en), as AIGER.
+const seqA = "aag 5 1 1 1 3\n2\n4 11\n4\n6 4 3\n8 5 2\n10 7 9\n"
+const seqB = "aag 5 1 1 1 3\n2\n4 10\n4\n6 5 3\n8 4 2\n10 7 9\n"
+
+func main() {
+	// Verilog: hierarchy vs flat assigns.
+	h, err := simsweep.ReadVerilog(strings.NewReader(hierarchical), "adder4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := simsweep.ReadVerilog(strings.NewReader(flat), "adder4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verilog hierarchical: %s\n", h.Stats())
+	fmt.Printf("verilog flat        : %s\n", f.Stats())
+	res, err := simsweep.CheckEquivalence(h, f, simsweep.Options{Seed: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verilog pair        : %s\n\n", res.Outcome)
+
+	// Sequential AIGER: cut at the latch boundary, then combinational CEC.
+	ga, la, err := simsweep.ReadSequentialAIGER(strings.NewReader(seqA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gb, lb, err := simsweep.ReadSequentialAIGER(strings.NewReader(seqB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential designs: %d latch(es) each, cut views %s / %s\n", la, ga.Stats(), gb.Stats())
+	if la != lb {
+		log.Fatal("state encodings differ")
+	}
+	res, err = simsweep.CheckEquivalence(ga, gb, simsweep.Options{Seed: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential pair   : %s (outputs and next-state functions agree)\n", res.Outcome)
+}

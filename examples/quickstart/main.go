@@ -1,0 +1,47 @@
+// Quickstart: build two structurally different implementations of the same
+// function, and prove them equivalent with the simulation-based sweeping
+// engine — the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simsweep"
+)
+
+func main() {
+	// Implementation 1: an 8-bit ripple-carry adder from the generator
+	// library.
+	a, err := simsweep.Generate("adder", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Implementation 2: the same adder restructured by the resyn2-style
+	// optimizer — different AND/inverter structure, same function.
+	b := simsweep.Optimize(a)
+	fmt.Printf("original : %s\n", a.Stats())
+	fmt.Printf("optimized: %s\n", b.Stats())
+
+	// Prove equivalence. The default engine is the paper's hybrid flow:
+	// the exhaustive-simulation engine sweeps the miter and a SAT
+	// sweeping backend finishes anything left undecided.
+	res, err := simsweep.CheckEquivalence(a, b, simsweep.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verdict  : %s in %v (engine %s)\n", res.Outcome, res.Runtime.Round(1e6), res.EngineUsed)
+	fmt.Printf("sim engine reduced %.1f%% of the miter across %d phases\n",
+		res.ReducedPercent, len(res.SimPhases))
+
+	// Now break implementation 2 and watch the checker produce a
+	// counter-example.
+	bad := b.Copy()
+	bad.SetPO(3, bad.PO(3).Not())
+	res, err = simsweep.CheckEquivalence(a, bad, simsweep.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corrupted: %s, counter-example %v\n", res.Outcome, res.CEX)
+}

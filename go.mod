@@ -1,0 +1,3 @@
+module simsweep
+
+go 1.22

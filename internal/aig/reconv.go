@@ -1,0 +1,49 @@
+package aig
+
+// Reconvergence analysis. The paper's preliminaries note that internal
+// satisfiability don't cares (SDCs) at a cut arise mainly from reconvergent
+// paths in the TFI structure of the cut; these helpers quantify that
+// structure. A cut leaf is reconvergent with respect to a cone when it
+// feeds the cone through two or more fanout edges — its value then reaches
+// the root along multiple paths that can constrain each other.
+
+// ReconvergentLeaves returns, for the cone of root stopped at the leaves,
+// the subset of leaves with two or more fanout edges into the cone.
+func (g *AIG) ReconvergentLeaves(root int, leaves []int32) []int32 {
+	stop := make(map[int]bool, len(leaves))
+	for _, l := range leaves {
+		stop[int(l)] = true
+	}
+	cone := g.ConeNodes([]int{root}, stop)
+	edges := make(map[int32]int, len(leaves))
+	for _, id := range cone {
+		f0, f1 := g.Fanins(int(id))
+		for _, f := range [2]Lit{f0, f1} {
+			if stop[f.ID()] {
+				edges[int32(f.ID())]++
+			}
+		}
+	}
+	var out []int32
+	for _, l := range leaves {
+		if edges[l] >= 2 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ReconvergenceDegree is the number of reconvergent leaves of the cone —
+// a cheap structural predictor of SDC presence: degree 0 guarantees no
+// SDCs that involve only tree-like paths, while high degrees make local
+// function mismatches on equivalent pairs more likely.
+func (g *AIG) ReconvergenceDegree(root int, leaves []int32) int {
+	return len(g.ReconvergentLeaves(root, leaves))
+}
+
+// HasReconvergence reports whether any PI reaches root through two or more
+// fanout edges of its cone — the whole-cone variant over the structural
+// support.
+func (g *AIG) HasReconvergence(root int) bool {
+	return g.ReconvergenceDegree(root, g.SupportOf(root)) > 0
+}

@@ -1,0 +1,71 @@
+package aig
+
+import "testing"
+
+func TestReconvergentLeavesPaperExample(t *testing.T) {
+	// n1 = x + y, n2 = y·z, n3 = n1·n2: y feeds the cone of n3 twice,
+	// x and z once each.
+	g := New()
+	x := g.AddPI()
+	y := g.AddPI()
+	z := g.AddPI()
+	n1 := g.Or(x, y)
+	n2 := g.And(y, z)
+	n3 := g.And(n1, n2)
+	leaves := []int32{int32(x.ID()), int32(y.ID()), int32(z.ID())}
+	rec := g.ReconvergentLeaves(n3.ID(), leaves)
+	if len(rec) != 1 || int(rec[0]) != y.ID() {
+		t.Fatalf("reconvergent leaves = %v, want just y (%d)", rec, y.ID())
+	}
+	if g.ReconvergenceDegree(n3.ID(), leaves) != 1 {
+		t.Fatal("degree != 1")
+	}
+	if !g.HasReconvergence(n3.ID()) {
+		t.Fatal("HasReconvergence false")
+	}
+}
+
+func TestNoReconvergenceInTree(t *testing.T) {
+	g := New()
+	a := g.AddPI()
+	b := g.AddPI()
+	c := g.AddPI()
+	d := g.AddPI()
+	top := g.And(g.And(a, b), g.And(c, d))
+	if g.HasReconvergence(top.ID()) {
+		t.Fatal("tree cone reported reconvergent")
+	}
+}
+
+func TestReconvergenceAtInternalCut(t *testing.T) {
+	// Cut at internal nodes: u = a&b used twice above the cut.
+	g := New()
+	a := g.AddPI()
+	b := g.AddPI()
+	c := g.AddPI()
+	u := g.And(a, b)
+	p := g.And(u, c)
+	q := g.And(u, c.Not())
+	top := g.Or(p, q)
+	leaves := []int32{int32(u.ID()), int32(c.ID())}
+	rec := g.ReconvergentLeaves(top.ID(), leaves)
+	if len(rec) != 2 {
+		t.Fatalf("both cut leaves feed twice; got %v", rec)
+	}
+}
+
+func TestReconvergenceCorrelatesWithSDCs(t *testing.T) {
+	// Structural sanity: the disjoint-support cut of the SDC tests has
+	// degree 0.
+	g := New()
+	a := g.AddPI()
+	b := g.AddPI()
+	c := g.AddPI()
+	d := g.AddPI()
+	u := g.And(a, b)
+	v := g.And(c, d)
+	top := g.And(u, v)
+	if g.ReconvergenceDegree(top.ID(), []int32{int32(u.ID()), int32(v.ID())}) != 0 {
+		t.Fatal("independent cut reported reconvergent")
+	}
+}

@@ -1,0 +1,121 @@
+package aig
+
+import "sort"
+
+// SupportOf returns the sorted PI node ids in the transitive fanin of root.
+func (g *AIG) SupportOf(root int) []int32 {
+	return g.SupportOfMany([]int{root})
+}
+
+// SupportOfMany returns the sorted union of the supports of the roots.
+func (g *AIG) SupportOfMany(roots []int) []int32 {
+	seen := make(map[int]bool)
+	var sup []int32
+	var stack []int
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if g.IsPI(id) {
+			sup = append(sup, int32(id))
+			continue
+		}
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		for _, f := range [2]Lit{f0, f1} {
+			if fid := f.ID(); !seen[fid] {
+				seen[fid] = true
+				stack = append(stack, fid)
+			}
+		}
+	}
+	sort.Slice(sup, func(i, j int) bool { return sup[i] < sup[j] })
+	return sup
+}
+
+// SupportSets holds capped per-node structural supports. Nodes whose
+// support exceeds the cap carry a nil set and Big[id] = true; the engine
+// only ever needs exact supports up to its simulatable thresholds.
+type SupportSets struct {
+	Cap  int
+	Sets [][]int32
+	Big  []bool
+}
+
+// Size returns the support size of node id, or -1 when it exceeds the cap.
+func (s *SupportSets) Size(id int) int {
+	if s.Big[id] {
+		return -1
+	}
+	return len(s.Sets[id])
+}
+
+// Union returns the sorted union of the supports of ids a and b, or nil and
+// false when either is over the cap or the union exceeds it.
+func (s *SupportSets) Union(a, b int) ([]int32, bool) {
+	if s.Big[a] || s.Big[b] {
+		return nil, false
+	}
+	u := mergeSorted(s.Sets[a], s.Sets[b])
+	if len(u) > s.Cap {
+		return nil, false
+	}
+	return u, true
+}
+
+// SupportsCapped computes the structural support of every node bottom-up,
+// abandoning (marking Big) any node whose support grows beyond cap. The
+// total work is O(nodes · cap).
+func (g *AIG) SupportsCapped(cap int) *SupportSets {
+	n := len(g.nodes)
+	s := &SupportSets{Cap: cap, Sets: make([][]int32, n), Big: make([]bool, n)}
+	for id := 1; id < n; id++ {
+		nd := g.nodes[id]
+		if nd.f0 == litInvalid {
+			s.Sets[id] = []int32{int32(id)}
+			continue
+		}
+		i0, i1 := nd.f0.ID(), nd.f1.ID()
+		if s.Big[i0] || s.Big[i1] {
+			s.Big[id] = true
+			continue
+		}
+		u := mergeSorted(s.Sets[i0], s.Sets[i1])
+		if len(u) > cap {
+			s.Big[id] = true
+			continue
+		}
+		s.Sets[id] = u
+	}
+	return s
+}
+
+// mergeSorted merges two sorted, duplicate-free id slices.
+func mergeSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,370 @@
+// Package aiger reads and writes combinational AIGER files, both the ASCII
+// ("aag") and the binary ("aig") format of the AIGER 1.9 specification.
+// Latches are not supported: CEC operates on combinational netlists, and
+// sequential designs are checked after standard latch-boundary cutting.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"simsweep/internal/aig"
+)
+
+// Write writes g to w in the requested format.
+func Write(w io.Writer, g *aig.AIG, binary bool) error {
+	bw := bufio.NewWriter(w)
+	if err := write(bw, g, binary); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes g to path, choosing the binary format when the file name
+// ends in ".aig" and ASCII otherwise.
+func WriteFile(path string, g *aig.AIG) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Write(f, g, strings.HasSuffix(path, ".aig"))
+}
+
+func write(w *bufio.Writer, g *aig.AIG, binary bool) error {
+	// Renumber: AIGER requires inputs to occupy variables 1..I and ANDs
+	// to follow in topological order.
+	numVar := make([]uint32, g.NumNodes())
+	next := uint32(1)
+	for i := 0; i < g.NumPIs(); i++ {
+		numVar[g.PIID(i)] = next
+		next++
+	}
+	var ands []int
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) {
+			numVar[id] = next
+			next++
+			ands = append(ands, id)
+		}
+	}
+	relit := func(l aig.Lit) uint32 {
+		v := numVar[l.ID()] << 1
+		if l.IsCompl() {
+			v |= 1
+		}
+		return v
+	}
+
+	m := int(next) - 1
+	format := "aag"
+	if binary {
+		format = "aig"
+	}
+	if _, err := fmt.Fprintf(w, "%s %d %d 0 %d %d\n", format, m, g.NumPIs(), g.NumPOs(), len(ands)); err != nil {
+		return err
+	}
+	if !binary {
+		for i := 0; i < g.NumPIs(); i++ {
+			fmt.Fprintf(w, "%d\n", numVar[g.PIID(i)]<<1)
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(w, "%d\n", relit(g.PO(i)))
+	}
+	for _, id := range ands {
+		f0, f1 := g.Fanins(id)
+		l0, l1 := relit(f0), relit(f1)
+		if l0 < l1 {
+			l0, l1 = l1, l0
+		}
+		lhs := numVar[id] << 1
+		if binary {
+			if err := writeDelta(w, lhs-l0); err != nil {
+				return err
+			}
+			if err := writeDelta(w, l0-l1); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(w, "%d %d %d\n", lhs, l0, l1)
+		}
+	}
+	for i := 0; i < g.NumPIs(); i++ {
+		if name := g.PIName(i); name != "" {
+			fmt.Fprintf(w, "i%d %s\n", i, name)
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		if name := g.POName(i); name != "" {
+			fmt.Fprintf(w, "o%d %s\n", i, name)
+		}
+	}
+	if g.Name != "" {
+		fmt.Fprintf(w, "c\n%s\n", g.Name)
+	}
+	return nil
+}
+
+func writeDelta(w *bufio.Writer, x uint32) error {
+	for x >= 0x80 {
+		if err := w.WriteByte(byte(x) | 0x80); err != nil {
+			return err
+		}
+		x >>= 7
+	}
+	return w.WriteByte(byte(x))
+}
+
+// Read parses an AIGER file (ASCII or binary, detected from the header).
+func Read(r io.Reader) (*aig.AIG, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: reading header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 6 {
+		return nil, fmt.Errorf("aiger: malformed header %q", strings.TrimSpace(header))
+	}
+	format := fields[0]
+	if format != "aag" && format != "aig" {
+		return nil, fmt.Errorf("aiger: unknown format %q", format)
+	}
+	var m, i, l, o, a int
+	for idx, dst := range []*int{&m, &i, &l, &o, &a} {
+		v, err := strconv.Atoi(fields[idx+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", fields[idx+1])
+		}
+		*dst = v
+	}
+	if l != 0 {
+		return nil, fmt.Errorf("aiger: %d latches present; only combinational AIGs are supported", l)
+	}
+	if m != i+a {
+		return nil, fmt.Errorf("aiger: header M=%d does not equal I+A=%d", m, i+a)
+	}
+
+	g := aig.New()
+	lits := make([]aig.Lit, m+1) // AIGER variable -> our literal
+	lits[0] = aig.False
+
+	if format == "aag" {
+		return readASCII(br, g, lits, i, o, a)
+	}
+	return readBinary(br, g, lits, i, o, a)
+}
+
+// ReadFile parses the AIGER file at path.
+func ReadFile(path string) (*aig.AIG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+func litOf(lits []aig.Lit, l uint32) (aig.Lit, error) {
+	v := int(l >> 1)
+	if v >= len(lits) {
+		return 0, fmt.Errorf("aiger: literal %d out of range", l)
+	}
+	return lits[v].NotIf(l&1 == 1), nil
+}
+
+func readASCII(br *bufio.Reader, g *aig.AIG, lits []aig.Lit, i, o, a int) (*aig.AIG, error) {
+	readUints := func(n int) ([]uint32, error) {
+		out := make([]uint32, n)
+		for k := 0; k < n; k++ {
+			line, err := br.ReadString('\n')
+			if err != nil && !(err == io.EOF && line != "") {
+				return nil, fmt.Errorf("aiger: unexpected end of file: %w", err)
+			}
+			v, err := strconv.ParseUint(strings.TrimSpace(line), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("aiger: bad literal line %q", strings.TrimSpace(line))
+			}
+			out[k] = uint32(v)
+		}
+		return out, nil
+	}
+	ins, err := readUints(i)
+	if err != nil {
+		return nil, err
+	}
+	defined := make([]bool, len(lits))
+	defined[0] = true
+	for _, l := range ins {
+		if l&1 == 1 || l == 0 || int(l>>1) >= len(lits) || defined[l>>1] {
+			return nil, fmt.Errorf("aiger: invalid input literal %d", l)
+		}
+		defined[l>>1] = true
+		lits[l>>1] = g.AddPI()
+	}
+	outs, err := readUints(o)
+	if err != nil {
+		return nil, err
+	}
+	type andLine struct{ lhs, r0, r1 uint32 }
+	andLines := make([]andLine, a)
+	for k := 0; k < a; k++ {
+		line, err := br.ReadString('\n')
+		if err != nil && !(err == io.EOF && line != "") {
+			return nil, fmt.Errorf("aiger: unexpected end of file in AND section: %w", err)
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("aiger: bad AND line %q", strings.TrimSpace(line))
+		}
+		var vals [3]uint32
+		for j, s := range f {
+			v, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("aiger: bad AND literal %q", s)
+			}
+			vals[j] = uint32(v)
+		}
+		andLines[k] = andLine{vals[0], vals[1], vals[2]}
+	}
+	// The ASCII format only requires lhs > rhs, not file order; sorting
+	// by lhs makes every definition available before its uses.
+	sort.Slice(andLines, func(a, b int) bool { return andLines[a].lhs < andLines[b].lhs })
+	for _, al := range andLines {
+		if al.lhs&1 == 1 || al.lhs == 0 || int(al.lhs>>1) >= len(lits) || defined[al.lhs>>1] || al.r0 >= al.lhs || al.r1 >= al.lhs {
+			return nil, fmt.Errorf("aiger: AND %d invalid (rhs %d %d)", al.lhs, al.r0, al.r1)
+		}
+		if !defined[al.r0>>1] || !defined[al.r1>>1] {
+			return nil, fmt.Errorf("aiger: AND %d references undefined variable", al.lhs)
+		}
+		defined[al.lhs>>1] = true
+		f0, err := litOf(lits, al.r0)
+		if err != nil {
+			return nil, err
+		}
+		f1, err := litOf(lits, al.r1)
+		if err != nil {
+			return nil, err
+		}
+		lits[al.lhs>>1] = g.And(f0, f1)
+	}
+	for _, l := range outs {
+		if int(l>>1) >= len(lits) || !defined[l>>1] {
+			return nil, fmt.Errorf("aiger: output references undefined literal %d", l)
+		}
+		po, err := litOf(lits, l)
+		if err != nil {
+			return nil, err
+		}
+		g.AddPO(po)
+	}
+	readSymbols(br, g)
+	return g, nil
+}
+
+func readBinary(br *bufio.Reader, g *aig.AIG, lits []aig.Lit, i, o, a int) (*aig.AIG, error) {
+	for k := 0; k < i; k++ {
+		lits[k+1] = g.AddPI()
+	}
+	outs := make([]uint32, o)
+	for k := 0; k < o; k++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("aiger: unexpected end of file in output section: %w", err)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(line), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: bad output literal %q", strings.TrimSpace(line))
+		}
+		outs[k] = uint32(v)
+	}
+	for k := 0; k < a; k++ {
+		lhs := uint32(i+1+k) << 1
+		d0, err := readDelta(br)
+		if err != nil {
+			return nil, err
+		}
+		d1, err := readDelta(br)
+		if err != nil {
+			return nil, err
+		}
+		if d0 == 0 || d0 > lhs {
+			return nil, fmt.Errorf("aiger: invalid delta encoding at AND %d", lhs)
+		}
+		r0 := lhs - d0
+		if d1 > r0 {
+			return nil, fmt.Errorf("aiger: invalid second delta at AND %d", lhs)
+		}
+		r1 := r0 - d1
+		f0, err := litOf(lits, r0)
+		if err != nil {
+			return nil, err
+		}
+		f1, err := litOf(lits, r1)
+		if err != nil {
+			return nil, err
+		}
+		lits[lhs>>1] = g.And(f0, f1)
+	}
+	for _, l := range outs {
+		po, err := litOf(lits, l)
+		if err != nil {
+			return nil, err
+		}
+		g.AddPO(po)
+	}
+	readSymbols(br, g)
+	return g, nil
+}
+
+func readDelta(br *bufio.Reader) (uint32, error) {
+	var x uint32
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("aiger: unexpected end of binary AND section: %w", err)
+		}
+		x |= uint32(b&0x7F) << shift
+		if b&0x80 == 0 {
+			return x, nil
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, fmt.Errorf("aiger: delta varint too long")
+		}
+	}
+}
+
+// readSymbols parses the optional symbol table and comment; names are
+// currently informational and attached only via the comment into Name.
+func readSymbols(br *bufio.Reader, g *aig.AIG) {
+	for {
+		line, err := br.ReadString('\n')
+		line = strings.TrimRight(line, "\n")
+		if line == "c" {
+			if comment, err2 := io.ReadAll(br); err2 == nil {
+				g.Name = strings.TrimSpace(string(comment))
+			}
+			return
+		}
+		if line != "" {
+			// Symbol lines like "i0 name" / "o3 name" are tolerated
+			// and ignored: node identity is positional in this tool.
+			_ = line
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package aiger
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"simsweep/internal/aig"
+)
+
+func buildSample() *aig.AIG {
+	g := aig.New()
+	a := g.AddPINamed("a")
+	b := g.AddPINamed("b")
+	c := g.AddPINamed("c")
+	g.AddPONamed(g.Xor(g.And(a, b), c), "f")
+	g.Name = "sample"
+	return g
+}
+
+func roundTrip(t *testing.T, g *aig.AIG, binary bool) *aig.AIG {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g, binary); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return out
+}
+
+func sameFunction(t *testing.T, a, b *aig.AIG, trials int, seed int64) {
+	t.Helper()
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		t.Fatalf("interface mismatch: %d/%d PIs, %d/%d POs", a.NumPIs(), b.NumPIs(), a.NumPOs(), b.NumPOs())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < trials; k++ {
+		in := make([]bool, a.NumPIs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		oa, ob := a.Eval(in), b.Eval(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("trial %d output %d differs", k, i)
+			}
+		}
+	}
+}
+
+func TestASCIIRoundTrip(t *testing.T) {
+	g := buildSample()
+	out := roundTrip(t, g, false)
+	sameFunction(t, g, out, 8, 1)
+	if out.Name != "sample" {
+		t.Errorf("comment lost: %q", out.Name)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := buildSample()
+	out := roundTrip(t, g, true)
+	sameFunction(t, g, out, 8, 2)
+}
+
+func TestConstantOutputs(t *testing.T) {
+	g := aig.New()
+	g.AddPI()
+	g.AddPO(aig.False)
+	g.AddPO(aig.True)
+	for _, binary := range []bool{false, true} {
+		out := roundTrip(t, g, binary)
+		if out.PO(0) != aig.False || out.PO(1) != aig.True {
+			t.Errorf("binary=%v: constant POs = %v %v", binary, out.PO(0), out.PO(1))
+		}
+	}
+}
+
+func TestReadKnownASCII(t *testing.T) {
+	// AND of two inputs, from the AIGER spec.
+	src := "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPIs() != 2 || g.NumPOs() != 1 || g.NumAnds() != 1 {
+		t.Fatalf("parsed %s", g.Stats())
+	}
+	if out := g.Eval([]bool{true, true}); !out[0] {
+		t.Error("AND(1,1) != 1")
+	}
+	if out := g.Eval([]bool{true, false}); out[0] {
+		t.Error("AND(1,0) != 0")
+	}
+}
+
+func TestRejectLatches(t *testing.T) {
+	if _, err := Read(strings.NewReader("aag 1 0 1 0 0\n2 3\n")); err == nil {
+		t.Fatal("latches accepted")
+	}
+}
+
+func TestRejectMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"xyz 1 1 0 0 0\n",
+		"aag 5 2 0 1 1\n2\n4\n6\n6 2 4\n", // M != I+A
+		"aag 3 2 0 1 1\n2\n4\n6\n6 8 4\n", // rhs >= lhs
+		"aag 3 2 0 1 1\n3\n4\n6\n6 2 4\n", // odd input literal
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestDeltaEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	bw := newTestWriter(&buf)
+	for _, v := range []uint32{0, 1, 127, 128, 16383, 16384, 1 << 28} {
+		buf.Reset()
+		if err := writeDelta(bw, v); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		got, err := readDelta(newTestReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("value %d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("delta round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestQuickRandomAIGRoundTrip(t *testing.T) {
+	f := func(seed int64, binary bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := aig.New()
+		lits := []aig.Lit{}
+		for i := 0; i < 4; i++ {
+			lits = append(lits, g.AddPI())
+		}
+		for i := 0; i < 30; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		for i := 0; i < 3; i++ {
+			g.AddPO(lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1))
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g, binary); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 16; k++ {
+			in := make([]bool, 4)
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			oa, ob := g.Eval(in), out.Eval(in)
+			for i := range oa {
+				if oa[i] != ob[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

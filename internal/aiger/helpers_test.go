@@ -1,0 +1,11 @@
+package aiger
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+func newTestWriter(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }
+
+func newTestReader(b []byte) *bufio.Reader { return bufio.NewReader(bytes.NewReader(b)) }

@@ -1,0 +1,113 @@
+package aiger
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSequentialToggleFlop(t *testing.T) {
+	// A toggle flip-flop: latch q with next-state q ⊕ en, output q.
+	// aag 4 1 1 1 2: input en(2), latch q(4) next 8, output 4,
+	// ANDs: 6 = en' & q'? Build XOR via two ANDs:
+	//   6 = 2&4 (en & q); 8 = ... XOR needs OR of two ands — 3 ANDs.
+	// Use: next = q ^ en = !( !(q & !en) & !(!q & en) )
+	src := `aag 5 1 1 1 3
+2
+4 11
+4
+6 4 3
+8 5 2
+10 7 9
+`
+	g, l, err := ReadSequential(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 1 {
+		t.Fatalf("latches = %d", l)
+	}
+	if g.NumPIs() != 2 || g.NumPOs() != 2 {
+		t.Fatalf("cut view: %d PIs %d POs", g.NumPIs(), g.NumPOs())
+	}
+	// PO0 = q (the real output), PO1 = next-state = q ^ en.
+	for pat := 0; pat < 4; pat++ {
+		en, q := pat&1 == 1, pat&2 == 2
+		out := g.Eval([]bool{en, q})
+		if out[0] != q {
+			t.Fatalf("output PO wrong at %02b", pat)
+		}
+		if out[1] != (q != en) {
+			t.Fatalf("next-state PO = %v at en=%v q=%v", out[1], en, q)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSequentialCombinationalStillWorks(t *testing.T) {
+	src := "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+	g, l, err := ReadSequential(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l != 0 || g.NumPIs() != 2 || g.NumPOs() != 1 {
+		t.Fatalf("combinational read broken: l=%d %s", l, g.Stats())
+	}
+}
+
+func TestSequentialEquivalenceViaCut(t *testing.T) {
+	// Two encodings of the same toggle flop: one XOR built two ways.
+	a := `aag 5 1 1 1 3
+2
+4 11
+4
+6 4 3
+8 5 2
+10 7 9
+`
+	// Same function: next = (q | en) & !(q & en).
+	b := `aag 5 1 1 1 3
+2
+4 10
+4
+6 5 3
+8 4 2
+10 7 9
+`
+	// b: 6 = !q & !en (so !6 = q|en), 8 = q & en, 10 = !6... wait:
+	// 10 = 7 & 9 = !(q|en)' ... verify by evaluation below instead.
+	ga, la, err := ReadSequential(strings.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, lb, err := ReadSequential(strings.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la != lb {
+		t.Fatalf("latch counts differ: %d vs %d", la, lb)
+	}
+	// Check next-state functions agree on all patterns (the cut view
+	// makes sequential equivalence a combinational check).
+	for pat := 0; pat < 4; pat++ {
+		in := []bool{pat&1 == 1, pat&2 == 2}
+		oa, ob := ga.Eval(in), gb.Eval(in)
+		if oa[1] != ob[1] {
+			t.Fatalf("next-state functions differ at %02b: %v vs %v", pat, oa[1], ob[1])
+		}
+	}
+}
+
+func TestSequentialRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"aag 4 1 1 1 1\n2\n4\n4\n6 2 4\n",   // latch line missing next
+		"aag 4 1 1 1 1\n2\n3 8\n4\n6 2 4\n", // odd latch literal
+		"aag 2 1 1 0 0\n2\n4 99\n",          // next-state out of range
+	}
+	for i, src := range cases {
+		if _, _, err := ReadSequential(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

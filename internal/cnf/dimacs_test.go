@@ -1,0 +1,193 @@
+package cnf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/sat"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if len(f.Comments) != 1 || f.Comments[0] != "a comment" {
+		t.Fatalf("comments = %v", f.Comments)
+	}
+	if f.Clauses[0][1] != -2 {
+		t.Fatalf("clause 0 = %v", f.Clauses[0])
+	}
+}
+
+func TestParseDIMACSMultilineClausesAndMissingHeader(t *testing.T) {
+	src := "1 2\n-3 0 3 0"
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "1 2 -3 0" then "3 0".
+	if len(f.Clauses) != 2 || len(f.Clauses[0]) != 3 {
+		t.Fatalf("clauses = %v", f.Clauses)
+	}
+	if f.NumVars != 3 {
+		t.Fatalf("vars = %d", f.NumVars)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"p cnf x 2\n1 0\n",
+		"p dnf 1 1\n1 0\n",
+		"p cnf 1 2\n1 0\n", // clause count mismatch
+		"1 quux 0\n",
+	}
+	for i, src := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := &Formula{Comments: []string{"round trip"}}
+	f.AddClause(1, -2, 3)
+	f.AddClause(-1)
+	f.AddClause(2, 4)
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip changed shape: %d/%d vars, %d/%d clauses",
+			g.NumVars, f.NumVars, len(g.Clauses), len(f.Clauses))
+	}
+	for i := range f.Clauses {
+		if len(g.Clauses[i]) != len(f.Clauses[i]) {
+			t.Fatalf("clause %d length changed", i)
+		}
+		for j := range f.Clauses[i] {
+			if g.Clauses[i][j] != f.Clauses[i][j] {
+				t.Fatalf("clause %d literal %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadIntoSolver(t *testing.T) {
+	f := &Formula{}
+	f.AddClause(1, 2)
+	f.AddClause(-1, 2)
+	f.AddClause(-2, 3)
+	s := sat.New()
+	mapping, ok := f.LoadInto(s)
+	if !ok {
+		t.Fatal("satisfiable formula rejected at load")
+	}
+	if st := s.Solve(); st != sat.Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if !s.Value(mapping[2]) || !s.Value(mapping[3]) {
+		t.Fatal("model violates implications")
+	}
+	// An unsatisfiable formula.
+	f2 := &Formula{}
+	f2.AddClause(1)
+	f2.AddClause(-1)
+	s2 := sat.New()
+	if _, ok := f2.LoadInto(s2); ok {
+		if st := s2.Solve(); st != sat.Unsat {
+			t.Fatalf("status = %v", st)
+		}
+	}
+}
+
+func TestMiterToFormulaSemantics(t *testing.T) {
+	// Equivalent circuits -> UNSAT formula; different -> SAT.
+	build := func(bug bool) *aig.AIG {
+		g := aig.New()
+		a := g.AddPI()
+		b := g.AddPI()
+		x1 := g.Xor(a, b)
+		x2 := g.And(g.Or(a, b), g.And(a, b).Not())
+		if bug {
+			x2 = g.Or(a, b)
+		}
+		g.AddPO(g.Xor(x1, x2))
+		return g
+	}
+	for _, bug := range []bool{false, true} {
+		f := MiterToFormula(build(bug))
+		s := sat.New()
+		_, ok := f.LoadInto(s)
+		var st sat.Status
+		if !ok {
+			st = sat.Unsat
+		} else {
+			st = s.Solve()
+		}
+		want := sat.Unsat
+		if bug {
+			want = sat.Sat
+		}
+		if st != want {
+			t.Fatalf("bug=%v: status = %v, want %v", bug, st, want)
+		}
+	}
+}
+
+func TestMiterToFormulaRandomAgainstEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		g := aig.New()
+		var lits []aig.Lit
+		for i := 0; i < 5; i++ {
+			lits = append(lits, g.AddPI())
+		}
+		for i := 0; i < 25; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		g.AddPO(lits[len(lits)-1].NotIf(rng.Intn(2) == 1))
+		// Ground truth: is the single PO satisfiable?
+		satisfiable := false
+		for pat := 0; pat < 32; pat++ {
+			in := make([]bool, 5)
+			for i := range in {
+				in[i] = (pat>>uint(i))&1 == 1
+			}
+			if g.Eval(in)[0] {
+				satisfiable = true
+				break
+			}
+		}
+		f := MiterToFormula(g)
+		s := sat.New()
+		_, ok := f.LoadInto(s)
+		var st sat.Status
+		if !ok {
+			st = sat.Unsat
+		} else {
+			st = s.Solve()
+		}
+		if (st == sat.Sat) != satisfiable {
+			t.Fatalf("trial %d: formula %v, enumeration %v", trial, st, satisfiable)
+		}
+	}
+}

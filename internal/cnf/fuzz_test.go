@@ -1,0 +1,33 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS checks the DIMACS reader never panics and that accepted
+// formulas round-trip through the writer.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 2 1\n1 -2 0\n")
+	f.Add("c only a comment\n")
+	f.Add("1 2 0 -1 0")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := formula.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("write of accepted formula failed: %v", err)
+		}
+		back, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumVars < formula.NumVars || len(back.Clauses) != len(formula.Clauses) {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Package core implements the paper's contribution: the simulation-based
+// CEC engine. Candidate equivalences are proved by exhaustive simulation —
+// comparing entire truth tables — instead of SAT, organised as the
+// three-phase sweeping flow of Fig. 5: PO checking (P), global function
+// checking (G) and repeated local function checking phases (L), each built
+// on the parallel exhaustive simulator (Algorithm 1), the cut generator
+// (Algorithm 2) and the shared miter/EC infrastructure.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/cuts"
+	"simsweep/internal/par"
+)
+
+// Config carries the engine parameters. The names follow the paper:
+// KP/Kp bound the support of simulatable POs, Kg bounds global function
+// checking, Kl and C control cut enumeration, and Ks (derived) bounds
+// window merging.
+type Config struct {
+	KP int // one-shot PO checking threshold (paper: 32)
+	Kp int // per-PO checking threshold (paper: 16)
+	Kg int // global function checking threshold (paper: 16)
+	Kl int // maximum cut size k_l (paper: 8)
+	C  int // priority cuts per node (paper: 8)
+
+	// SimWords is the number of 64-pattern random words initialising the
+	// equivalence classes.
+	SimWords int
+	// Seed drives the random patterns.
+	Seed int64
+	// MemBudgetWords caps the exhaustive simulation table (Algorithm 1's
+	// M); the per-entry size E adapts to it.
+	MemBudgetWords int
+	// MaxWindowWork caps the simulation effort of a single window in
+	// node·word units (truth-table words × slots). Windows beyond it are
+	// skipped — first retried unmerged, then dropped — which is how the
+	// CPU build realises the paper's per-phase computational budget: the
+	// GPU original affords KP=32 one-shot checks, a CPU does not.
+	MaxWindowWork int64
+	// CutBufferCap is the capacity of the common-cut buffer interleaving
+	// cut generation with local checking (Algorithm 2's buf).
+	CutBufferCap int
+	// MaxCutsPerPair bounds the common cuts tried per candidate pair in
+	// each pass.
+	MaxCutsPerPair int
+	// MaxLocalPhases caps the repeated L phases (fixpoint reached earlier
+	// stops the loop anyway).
+	MaxLocalPhases int
+	// KeepSnapshots records the reduced miter after the P, G and final L
+	// phases (Figure 7's PG/PGL flows). Costs one Clean per phase.
+	KeepSnapshots bool
+
+	// Distance1CEX additionally injects, for every counter-example
+	// pattern, patterns with each assigned input flipped — the
+	// distance-1 simulation of [Mishchenko et al. 2006] the paper lists
+	// as a §V improvement. It sharpens class refinement at the cost of
+	// extra patterns.
+	Distance1CEX bool
+	// AdaptivePasses disables, in each repeated L phase, the cut
+	// generation passes that proved nothing in the previous phase — the
+	// paper's §V "more adaptive flow" tweak.
+	AdaptivePasses bool
+	// InterleaveRewrite restructures the miter with a zero-cost rewrite
+	// pass once the L phases reach a fixpoint, then resumes checking:
+	// fresh structure yields fresh cuts (§V's "interleaving sweeping
+	// with logic rewriting", after Mishchenko et al. 2006).
+	InterleaveRewrite bool
+	// GuidedPatterns injects justification-based patterns that toggle
+	// the most biased nodes before classes are built, breaking the
+	// spuriously large classes random stimulus leaves behind (after the
+	// simulation-quality techniques of Lee et al. / Amarú et al. that
+	// the paper cites as pattern-generation related work).
+	GuidedPatterns bool
+
+	// DisableWindowMerge turns off window merging in the P and G phases
+	// (ablation of §III-B3).
+	DisableWindowMerge bool
+	// DisableSimilarity turns off similarity-steered cut selection for
+	// non-representative nodes (ablation of §III-C1).
+	DisableSimilarity bool
+	// LocalPasses overrides the cut-selection passes of each L phase;
+	// nil selects the paper's three passes (Table I).
+	LocalPasses []cuts.Pass
+
+	// Dev supplies the parallel device (nil: all CPUs).
+	Dev *par.Device
+	// Stop cancels the run cooperatively between batches.
+	Stop <-chan struct{}
+	// Log, when non-nil, receives one progress line per phase.
+	Log io.Writer
+}
+
+// DefaultConfig returns the paper's parameter values.
+func DefaultConfig() Config {
+	return Config{
+		KP:             32,
+		Kp:             16,
+		Kg:             16,
+		Kl:             8,
+		C:              8,
+		SimWords:       8,
+		MemBudgetWords: 1 << 22,
+		MaxWindowWork:  1 << 28,
+		CutBufferCap:   4096,
+		MaxCutsPerPair: 8,
+		MaxLocalPhases: 16,
+	}
+}
+
+func (c *Config) fill() {
+	d := DefaultConfig()
+	if c.KP <= 0 {
+		c.KP = d.KP
+	}
+	if c.Kp <= 0 {
+		c.Kp = d.Kp
+	}
+	if c.Kg <= 0 {
+		c.Kg = d.Kg
+	}
+	if c.Kl <= 0 {
+		c.Kl = d.Kl
+	}
+	if c.C <= 0 {
+		c.C = d.C
+	}
+	if c.SimWords <= 0 {
+		c.SimWords = d.SimWords
+	}
+	if c.MemBudgetWords <= 0 {
+		c.MemBudgetWords = d.MemBudgetWords
+	}
+	if c.MaxWindowWork <= 0 {
+		c.MaxWindowWork = d.MaxWindowWork
+	}
+	if c.CutBufferCap <= 0 {
+		c.CutBufferCap = d.CutBufferCap
+	}
+	if c.MaxCutsPerPair <= 0 {
+		c.MaxCutsPerPair = d.MaxCutsPerPair
+	}
+	if c.MaxLocalPhases <= 0 {
+		c.MaxLocalPhases = d.MaxLocalPhases
+	}
+	if c.Dev == nil {
+		c.Dev = par.NewDevice(0)
+	}
+}
+
+// logf writes a progress line when logging is enabled.
+func (c *Config) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+func (c *Config) stopped() bool {
+	if c.Stop == nil {
+		return false
+	}
+	select {
+	case <-c.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Outcome is the engine's verdict on a miter.
+type Outcome int
+
+// Engine verdicts. Undecided miters carry the reduced miter for a
+// downstream checker (the paper hands them to ABC's &cec).
+const (
+	Undecided Outcome = iota
+	Equivalent
+	NotEquivalent
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Equivalent:
+		return "equivalent"
+	case NotEquivalent:
+		return "NOT equivalent"
+	}
+	return "undecided"
+}
+
+// PhaseKind labels the three phase types of the flow.
+type PhaseKind int
+
+// Phase kinds (Fig. 5).
+const (
+	PhaseP PhaseKind = iota
+	PhaseG
+	PhaseL
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseP:
+		return "P"
+	case PhaseG:
+		return "G"
+	}
+	return "L"
+}
+
+// ProvedPair records one equivalence the engine proved and merged: the
+// member node, the literal it was merged into, the phase kind that proved
+// it and the number of window inputs of the deciding check. The journal is
+// an audit trail: every entry was established by comparing complete truth
+// tables over the recorded window width.
+type ProvedPair struct {
+	Member int32
+	Target aig.Lit
+	Phase  PhaseKind
+	Inputs int
+}
+
+// PhaseStat records one executed phase, feeding the Figure 6 breakdown.
+type PhaseStat struct {
+	Kind      PhaseKind
+	Duration  time.Duration
+	Checked   int // pair-checking jobs submitted
+	Proved    int
+	Disproved int
+	AndsAfter int // AND nodes remaining after the phase's reduction
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Runtime        time.Duration
+	InitialAnds    int
+	FinalAnds      int
+	WordsSimulated int64
+	Rounds         int
+}
+
+// ReductionPercent reports the miter-size reduction of the run, the
+// "Reduced (%)" column of Table II.
+func (s Stats) ReductionPercent() float64 {
+	if s.InitialAnds == 0 {
+		return 100
+	}
+	return 100 * (1 - float64(s.FinalAnds)/float64(s.InitialAnds))
+}
+
+// Result is the outcome of a CheckMiter run.
+type Result struct {
+	Outcome Outcome
+	CEX     []bool // PI assignment disproving the miter
+	Reduced *aig.AIG
+	Phases  []PhaseStat
+	// Snapshots holds the cleaned intermediate miters after the named
+	// flow prefixes ("P", "PG", "PGL") when Config.KeepSnapshots is set.
+	Snapshots map[string]*aig.AIG
+	Stats     Stats
+	// PatternBank is the final simulation pattern bank (per PI index),
+	// including every counter-example found. Seeding a downstream
+	// checker with it transfers the engine's equivalence-class
+	// knowledge (§V): disproved pairs stay split without re-proving.
+	PatternBank [][]uint64
+	// Journal lists every proved merge in the order it was applied.
+	// Node ids refer to the miter as it was when the proof happened
+	// (each reduction renumbers); the journal documents the engine's
+	// work, phase by phase.
+	Journal []ProvedPair
+	// KernelProfile is the parallel device's per-kernel statistics table
+	// at the end of the run.
+	KernelProfile string
+}

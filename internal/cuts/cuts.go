@@ -1,0 +1,456 @@
+// Package cuts implements the cut generator of the CEC engine: priority-cut
+// enumeration with pass-dependent selection criteria (Table I of the
+// paper), similarity-steered cut selection for non-representative nodes,
+// enumeration levels that sequence representatives before their class
+// members (Eq. 2), and common-cut generation for candidate pairs.
+package cuts
+
+import (
+	"sort"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/ec"
+	"simsweep/internal/par"
+)
+
+// Cut is a set of leaves (sorted node ids) together with its selection
+// metrics: the average fanout count and average level of the leaves.
+type Cut struct {
+	Leaves    []int32
+	AvgFanout float32
+	AvgLevel  float32
+}
+
+// Size returns the number of leaves.
+func (c *Cut) Size() int { return len(c.Leaves) }
+
+// Pass selects the cut-selection criteria of one generation pass.
+type Pass int
+
+// The three passes of Table I. Pass 1 prefers high-fanout leaves, pass 2
+// low-level leaves (more logic in the cone, fewer SDCs), pass 3 high-level
+// leaves (smaller cones that capture local restructuring).
+const (
+	PassFanout Pass = iota
+	PassSmallLevel
+	PassLargeLevel
+)
+
+// Passes is the default pass sequence of a local-function checking phase.
+var Passes = []Pass{PassFanout, PassSmallLevel, PassLargeLevel}
+
+func (p Pass) String() string {
+	switch p {
+	case PassFanout:
+		return "fanout"
+	case PassSmallLevel:
+		return "small-level"
+	case PassLargeLevel:
+		return "large-level"
+	}
+	return "unknown"
+}
+
+// Config carries the cut-enumeration parameters: K is the maximum cut size
+// (k_l in the paper) and C the number of priority cuts kept per node.
+// NoSimilarity disables the similarity-steered selection of
+// non-representative nodes (an ablation knob; the paper's engine always
+// steers).
+type Config struct {
+	K            int
+	C            int
+	NoSimilarity bool
+	// KeepDominated retains cuts that are supersets of other candidates.
+	// Equivalence checking wants them filtered (a dominated cut proves
+	// nothing its dominator cannot); resynthesis wants them kept (larger
+	// cuts give ISOP more freedom).
+	KeepDominated bool
+}
+
+// DefaultConfig mirrors the paper's parameters: k_l = 8, C = 8.
+func DefaultConfig() Config { return Config{K: 8, C: 8} }
+
+// Generator enumerates priority cuts over one AIG. It is rebuilt whenever
+// the miter is rebuilt.
+type Generator struct {
+	g   *aig.AIG
+	dev *par.Device
+	cfg Config
+
+	fanouts []int32
+	levels  []int32
+	pcuts   [][]Cut
+}
+
+// NewGenerator prepares a cut generator for g.
+func NewGenerator(g *aig.AIG, dev *par.Device, cfg Config) *Generator {
+	if cfg.K < 2 {
+		cfg.K = 2
+	}
+	if cfg.C < 1 {
+		cfg.C = 1
+	}
+	return &Generator{
+		g:       g,
+		dev:     dev,
+		cfg:     cfg,
+		fanouts: g.FanoutCounts(),
+		levels:  g.Levels(),
+	}
+}
+
+// PairCuts is the output unit of an enumeration pass: the common cuts of
+// the candidate pair (Repr, Member).
+type PairCuts struct {
+	Pair ec.Pair
+	Cuts []Cut
+}
+
+// EnumerationLevels computes el(·) per Eq. 2: PIs (and the constant) have
+// level 0; a representative's level is 1 + max fanin level; a
+// non-representative additionally waits for its representative.
+func (gen *Generator) EnumerationLevels(m *ec.Manager) []int32 {
+	g := gen.g
+	el := make([]int32, g.NumNodes())
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		lv := el[f0.ID()]
+		if l := el[f1.ID()]; l > lv {
+			lv = l
+		}
+		if r, nonRepr := m.Repr(id); nonRepr {
+			if l := el[r]; l > lv {
+				lv = l
+			}
+		}
+		el[id] = lv + 1
+	}
+	return el
+}
+
+// Run executes one cut generation pass (Algorithm 2, minus the checking):
+// it computes priority cuts level by level and calls emit once per
+// non-representative node with the valid common cuts of its candidate pair.
+// emit is called from the control goroutine, in ascending enumeration-level
+// order, so the caller can maintain an unsynchronised buffer.
+func (gen *Generator) Run(pass Pass, m *ec.Manager, emit func(PairCuts)) {
+	g := gen.g
+	el := gen.EnumerationLevels(m)
+	maxLevel := int32(0)
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) && el[id] > maxLevel {
+			maxLevel = el[id]
+		}
+	}
+	byLevel := make([][]int32, maxLevel+1)
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) {
+			byLevel[el[id]] = append(byLevel[el[id]], int32(id))
+		}
+	}
+
+	gen.pcuts = make([][]Cut, g.NumNodes())
+	for i := 0; i < g.NumPIs(); i++ {
+		id := g.PIID(i)
+		gen.pcuts[id] = []Cut{gen.makeCut([]int32{int32(id)})}
+	}
+
+	results := make([]*PairCuts, g.NumNodes())
+	for l := int32(1); l <= maxLevel; l++ {
+		batch := byLevel[l]
+		gen.dev.Launch("cuts.level", len(batch), func(i int) {
+			id := int(batch[i])
+			repr, nonRepr := m.Repr(id)
+			var simTo []Cut
+			if nonRepr && repr != 0 && !gen.cfg.NoSimilarity {
+				simTo = gen.pcuts[repr]
+			}
+			gen.pcuts[id] = gen.enumerateNode(id, pass, simTo)
+			if !nonRepr {
+				return
+			}
+			pair, _ := m.PairOf(id)
+			var common []Cut
+			if repr == 0 {
+				// Candidate constant: any cut of the member works,
+				// since the comparison is against constant zero.
+				common = gen.pcuts[id]
+			} else {
+				common = gen.commonCuts(gen.pcuts[repr], gen.pcuts[id])
+			}
+			if len(common) > 0 {
+				results[id] = &PairCuts{Pair: pair, Cuts: common}
+			}
+		})
+		for _, id := range batch {
+			if pc := results[id]; pc != nil {
+				emit(*pc)
+				results[id] = nil
+			}
+		}
+	}
+}
+
+// makeCut computes the metric annotations of a leaf set.
+func (gen *Generator) makeCut(leaves []int32) Cut {
+	var fo, lv float32
+	for _, id := range leaves {
+		fo += float32(gen.fanouts[id])
+		lv += float32(gen.levels[id])
+	}
+	n := float32(len(leaves))
+	return Cut{Leaves: leaves, AvgFanout: fo / n, AvgLevel: lv / n}
+}
+
+// enumerateNode computes the priority cuts of node id for the pass,
+// steering by similarity to simTo when non-nil (Eq. 1 plus §III-C1).
+func (gen *Generator) enumerateNode(id int, pass Pass, simTo []Cut) []Cut {
+	f0, f1 := gen.g.Fanins(id)
+	set0 := withTrivial(gen.pcuts[f0.ID()], int32(f0.ID()))
+	set1 := withTrivial(gen.pcuts[f1.ID()], int32(f1.ID()))
+
+	var cands []Cut
+	seen := make(map[uint64][]int)
+	for _, u := range set0 {
+		for _, v := range set1 {
+			leaves := unionSorted(u.Leaves, v.Leaves)
+			if len(leaves) > gen.cfg.K {
+				continue
+			}
+			if !addUnique(seen, cands, leaves) {
+				continue
+			}
+			c := gen.makeCut(leaves)
+			seen[hashLeaves(leaves)] = append(seen[hashLeaves(leaves)], len(cands))
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	if !gen.cfg.KeepDominated {
+		cands = filterDominated(cands)
+	}
+	var sims []float32
+	if simTo != nil {
+		sims = make([]float32, len(cands))
+		for i := range cands {
+			sims[i] = Similarity(cands[i].Leaves, simTo)
+		}
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if sims != nil && sims[i] != sims[j] {
+			return sims[i] > sims[j]
+		}
+		return betterCut(pass, &cands[i], &cands[j])
+	})
+	n := gen.cfg.C
+	if n > len(order) {
+		n = len(order)
+	}
+	out := make([]Cut, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[order[i]]
+	}
+	return out
+}
+
+// commonCuts merges the priority cuts of a pair per Eq. 1 with the trivial
+// cuts excluded: {u ∪ v : u ∈ P(a), v ∈ P(b), |u ∪ v| ≤ K}.
+func (gen *Generator) commonCuts(pa, pb []Cut) []Cut {
+	var out []Cut
+	seen := make(map[uint64][]int)
+	for _, u := range pa {
+		for _, v := range pb {
+			leaves := unionSorted(u.Leaves, v.Leaves)
+			if len(leaves) > gen.cfg.K {
+				continue
+			}
+			if !addUnique(seen, out, leaves) {
+				continue
+			}
+			seen[hashLeaves(leaves)] = append(seen[hashLeaves(leaves)], len(out))
+			out = append(out, gen.makeCut(leaves))
+		}
+	}
+	return out
+}
+
+// PriorityCuts exposes the cuts computed by the last Run for node id
+// (useful for tests and diagnostics).
+func (gen *Generator) PriorityCuts(id int) []Cut {
+	if gen.pcuts == nil {
+		return nil
+	}
+	return gen.pcuts[id]
+}
+
+// betterCut orders cuts by the pass criteria of Table I.
+func betterCut(pass Pass, a, b *Cut) bool {
+	switch pass {
+	case PassFanout:
+		if a.AvgFanout != b.AvgFanout {
+			return a.AvgFanout > b.AvgFanout
+		}
+		if len(a.Leaves) != len(b.Leaves) {
+			return len(a.Leaves) < len(b.Leaves)
+		}
+		return a.AvgLevel < b.AvgLevel
+	case PassSmallLevel:
+		if a.AvgLevel != b.AvgLevel {
+			return a.AvgLevel < b.AvgLevel
+		}
+		if len(a.Leaves) != len(b.Leaves) {
+			return len(a.Leaves) < len(b.Leaves)
+		}
+		return a.AvgFanout > b.AvgFanout
+	default: // PassLargeLevel
+		if a.AvgLevel != b.AvgLevel {
+			return a.AvgLevel > b.AvgLevel
+		}
+		if len(a.Leaves) != len(b.Leaves) {
+			return len(a.Leaves) < len(b.Leaves)
+		}
+		return a.AvgFanout > b.AvgFanout
+	}
+}
+
+// Similarity is the metric s(c, P) = Σ_{c'∈P} |c∩c'| / |c∪c'| steering the
+// cut selection of non-representative nodes towards their representative's
+// priority cuts.
+func Similarity(c []int32, P []Cut) float32 {
+	var s float32
+	for i := range P {
+		inter, union := intersectUnionSizes(c, P[i].Leaves)
+		if union > 0 {
+			s += float32(inter) / float32(union)
+		}
+	}
+	return s
+}
+
+func intersectUnionSizes(a, b []int32) (inter, union int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			union++
+			i++
+		case a[i] > b[j]:
+			union++
+			j++
+		default:
+			inter++
+			union++
+			i++
+			j++
+		}
+	}
+	union += len(a) - i + len(b) - j
+	return inter, union
+}
+
+// filterDominated removes cuts that are proper supersets of another
+// candidate: a dominated cut can never beat its dominator on size and
+// covers no additional logic (standard cut-enumeration pruning).
+func filterDominated(cands []Cut) []Cut {
+	out := cands[:0]
+	for i := range cands {
+		dominated := false
+		for j := range cands {
+			if i == j || len(cands[j].Leaves) >= len(cands[i].Leaves) {
+				continue
+			}
+			if isSubset(cands[j].Leaves, cands[i].Leaves) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}
+
+// isSubset reports whether sorted slice a ⊆ sorted slice b.
+func isSubset(a, b []int32) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func withTrivial(cuts []Cut, id int32) []Cut {
+	out := make([]Cut, 0, len(cuts)+1)
+	out = append(out, cuts...)
+	return append(out, Cut{Leaves: []int32{id}})
+}
+
+func unionSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func hashLeaves(leaves []int32) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for _, id := range leaves {
+		h ^= uint64(uint32(id))
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// addUnique reports whether leaves is not yet present in the cut list
+// indexed by seen (a hash → indices map over existing).
+func addUnique(seen map[uint64][]int, existing []Cut, leaves []int32) bool {
+	for _, idx := range seen[hashLeaves(leaves)] {
+		if sameLeaves(existing[idx].Leaves, leaves) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameLeaves(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

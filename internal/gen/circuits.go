@@ -1,0 +1,292 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"simsweep/internal/aig"
+)
+
+// Multiplier builds the n×n → 2n array multiplier benchmark.
+func Multiplier(width int) (*aig.AIG, error) {
+	if err := checkWidth(width, 2); err != nil {
+		return nil, err
+	}
+	g := aig.New()
+	g.Name = "multiplier"
+	a := Inputs(g, width)
+	b := Inputs(g, width)
+	AddPOs(g, Mul(g, a, b))
+	return g, nil
+}
+
+// SquareCircuit builds the n → 2n squarer benchmark.
+func SquareCircuit(width int) (*aig.AIG, error) {
+	if err := checkWidth(width, 2); err != nil {
+		return nil, err
+	}
+	g := aig.New()
+	g.Name = "square"
+	AddPOs(g, Square(g, Inputs(g, width)))
+	return g, nil
+}
+
+// SqrtCircuit builds the n → n/2 restoring square-root benchmark.
+func SqrtCircuit(width int) (*aig.AIG, error) {
+	if err := checkWidth(width, 2); err != nil {
+		return nil, err
+	}
+	g := aig.New()
+	g.Name = "sqrt"
+	AddPOs(g, Sqrt(g, Inputs(g, width)))
+	return g, nil
+}
+
+// Hyp builds the hypotenuse benchmark: ⌊√(a² + b²)⌋ over two n-bit
+// operands — squarers feeding an adder feeding the deep sqrt recurrence,
+// the most level-heavy family of the suite.
+func Hyp(width int) (*aig.AIG, error) {
+	if err := checkWidth(width, 2); err != nil {
+		return nil, err
+	}
+	g := aig.New()
+	g.Name = "hyp"
+	a := Inputs(g, width)
+	b := Inputs(g, width)
+	sa := Square(g, a)
+	sb := Square(g, b)
+	sum, carry := Add(g, sa, sb)
+	full := make(BV, len(sum)+1)
+	copy(full, sum)
+	full[len(sum)] = carry
+	AddPOs(g, Sqrt(g, full))
+	return g, nil
+}
+
+// Log2 builds the integer-part-and-fraction log2 benchmark: a leading-one
+// normaliser (priority logic plus barrel shifter) produces the exponent,
+// and a multiplicative polynomial on the normalised mantissa refines the
+// fraction — the normaliser/multiplier mix of the EPFL log2.
+func Log2(width int) (*aig.AIG, error) {
+	if err := checkWidth(width, 4); err != nil {
+		return nil, err
+	}
+	g := aig.New()
+	g.Name = "log2"
+	x := Inputs(g, width)
+	norm, shift := barrelShiftToMSB(g, x)
+	// Exponent = width-1 − shift = bitwise complement of shift offset.
+	for _, s := range shift {
+		g.AddPO(s.Not())
+	}
+	// Mantissa m: the bits below the leading one, as a fraction. The
+	// fraction of log2(1+m) is approximated by m + m·(1−m)/2 ≈
+	// m/2·(3−m): one squarer-grade multiplier on the datapath.
+	frac := width - 1
+	if frac > 16 {
+		frac = 16 // keep the polynomial multiplier bounded at scale
+	}
+	m := norm.Shr(len(norm) - 1 - frac)[:frac]
+	three := Constant(3<<uint(frac-2), frac)
+	threeMinus, _ := Sub(g, three, m.Shr(2))
+	prod := Mul(g, m, threeMinus)
+	for i := 0; i < frac; i++ {
+		g.AddPO(prod[frac+i-1])
+	}
+	return g, nil
+}
+
+// Sin builds the fixed-point sine benchmark: a Taylor datapath
+// x − x³/6 + x⁵/120 over a fraction of the input width, dominated by the
+// cascaded multipliers like the EPFL sin.
+func Sin(width int) (*aig.AIG, error) {
+	if err := checkWidth(width, 4); err != nil {
+		return nil, err
+	}
+	if width > 16 {
+		width = 16 // multiplier cascade grows as width²; cap per instance
+	}
+	g := aig.New()
+	g.Name = "sin"
+	x := Inputs(g, width)
+	x2 := Mul(g, x, x)[:width]       // x², keep fixed-point width
+	x3 := Mul(g, x2, x)[:width]      // x³
+	x5 := Mul(g, x3, x2.Zext(width)) // x⁵ (double width, truncated below)
+	// 1/6 ≈ 2⁻³ + 2⁻⁵ + 2⁻⁷; 1/120 ≈ 2⁻⁷ + 2⁻⁹ (shift-add constants).
+	x3d6, _ := Add(g, x3.Shr(3), x3.Shr(5))
+	x3d6, _ = Add(g, x3d6, x3.Shr(7))
+	x5t := x5[:width]
+	x5d120, _ := Add(g, x5t.Shr(7), x5t.Shr(9))
+	t, _ := Sub(g, x, x3d6)
+	s, _ := Add(g, t, x5d120)
+	AddPOs(g, s)
+	return g, nil
+}
+
+// Voter builds the majority-of-n benchmark: a popcount tree and a
+// threshold comparator (n odd; the EPFL voter is majority of 1001).
+func Voter(n int) (*aig.AIG, error) {
+	if err := checkWidth(n, 3); err != nil {
+		return nil, err
+	}
+	if n%2 == 0 {
+		n++
+	}
+	g := aig.New()
+	g.Name = "voter"
+	in := make([]aig.Lit, n)
+	for i := range in {
+		in[i] = g.AddPI()
+	}
+	count := PopCount(g, in)
+	threshold := Constant(uint64(n/2+1), len(count))
+	g.AddPO(Gte(g, count, threshold))
+	return g, nil
+}
+
+// Adder builds a simple n-bit ripple adder (quickstart material; also the
+// substrate of several integration tests).
+func Adder(width int) (*aig.AIG, error) {
+	if err := checkWidth(width, 1); err != nil {
+		return nil, err
+	}
+	g := aig.New()
+	g.Name = "adder"
+	a := Inputs(g, width)
+	b := Inputs(g, width)
+	sum, carry := Add(g, a, b)
+	AddPOs(g, sum)
+	g.AddPO(carry)
+	return g, nil
+}
+
+// ControlStyle selects the flavour of a generated control fabric.
+type ControlStyle int
+
+// Control fabric flavours, mirroring the two IWLS 2005 control benchmarks
+// of the evaluation: AC97 (very wide, very shallow — levels ≈ 12) and VGA
+// (wide with moderate depth — levels ≈ 24).
+const (
+	StyleAC97 ControlStyle = iota
+	StyleVGA
+)
+
+// Control builds a deterministic pseudo-random control fabric: decoders,
+// muxes, parity chains and comparators over word-sliced inputs, with
+// bounded logic depth and wide input/output interfaces. The same seed
+// always yields the same netlist.
+func Control(style ControlStyle, words int, seed int64) (*aig.AIG, error) {
+	if err := checkWidth(words, 1); err != nil {
+		return nil, err
+	}
+	depth := 12
+	name := "ac97_ctrl"
+	if style == StyleVGA {
+		depth = 24
+		name = "vga_lcd"
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New()
+	g.Name = name
+
+	const wordBits = 8
+	ins := make([]BV, words)
+	for w := range ins {
+		ins[w] = Inputs(g, wordBits)
+	}
+
+	// Layered random gadgets: each layer draws from the previous two.
+	prev := ins
+	layers := depth / 3
+	if layers < 2 {
+		layers = 2
+	}
+	for layer := 0; layer < layers; layer++ {
+		next := make([]BV, len(prev))
+		for w := range next {
+			a := prev[rng.Intn(len(prev))]
+			b := prev[rng.Intn(len(prev))]
+			sel := a[rng.Intn(wordBits)]
+			switch rng.Intn(4) {
+			case 0: // mux word
+				next[w] = Mux(g, sel, a, b)
+			case 1: // bitwise xor
+				out := make(BV, wordBits)
+				for i := range out {
+					out[i] = g.Xor(a[i], b[(i+1)%wordBits])
+				}
+				next[w] = out
+			case 2: // decoder slice: one-hot of a's low 3 bits, masked by b
+				out := make(BV, wordBits)
+				for i := range out {
+					m0 := a[0].NotIf(i&1 == 0)
+					m1 := a[1].NotIf(i&2 == 0)
+					m2 := a[2].NotIf(i&4 == 0)
+					out[i] = g.And(g.And(m0, m1), g.And(m2, b[i]))
+				}
+				next[w] = out
+			default: // equality compare fanned out
+				eq := aig.True
+				for i := 0; i < wordBits; i++ {
+					eq = g.And(eq, g.Xnor(a[i], b[i]))
+				}
+				out := make(BV, wordBits)
+				for i := range out {
+					out[i] = g.Mux(eq, a[i], b[i].Not())
+				}
+				next[w] = out
+			}
+		}
+		prev = next
+	}
+	for _, word := range prev {
+		AddPOs(g, word)
+	}
+	return g, nil
+}
+
+// Names lists the benchmark families of Table II, in the paper's order.
+func Names() []string {
+	return []string{
+		"hyp", "log2", "multiplier", "sqrt", "square",
+		"voter", "sin", "ac97_ctrl", "vga_lcd",
+	}
+}
+
+// Benchmark builds a named benchmark family at the given scale. Scale
+// semantics: datapath families use it as bit width, voter as 8·scale+1
+// voters, control fabrics as word count.
+func Benchmark(name string, scale int) (*aig.AIG, error) {
+	switch name {
+	case "hyp":
+		return Hyp(scale)
+	case "log2":
+		return Log2(scale)
+	case "multiplier":
+		return Multiplier(scale)
+	case "sqrt":
+		return SqrtCircuit(scale)
+	case "square":
+		return SquareCircuit(scale)
+	case "voter":
+		return Voter(8*scale + 1)
+	case "sin":
+		return Sin(scale)
+	case "ac97_ctrl":
+		return Control(StyleAC97, 4*scale, 97)
+	case "vga_lcd":
+		return Control(StyleVGA, 4*scale, 64)
+	case "adder":
+		return Adder(scale)
+	}
+	if g, err, ok := extraBenchmark(name, scale); ok {
+		return g, err
+	}
+	switch name {
+	default:
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("gen: unknown benchmark %q (known: %v)", name, known)
+	}
+}

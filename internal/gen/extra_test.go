@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKoggeStoneMatchesRipple(t *testing.T) {
+	const w = 7
+	ks, err := KoggeStoneAdder(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Adder(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Level() >= rc.Level() {
+		t.Fatalf("Kogge-Stone level %d not below ripple level %d", ks.Level(), rc.Level())
+	}
+	rng := rand.New(rand.NewSource(6))
+	for k := 0; k < 200; k++ {
+		a := rng.Uint64() & ((1 << w) - 1)
+		b := rng.Uint64() & ((1 << w) - 1)
+		got := evalUint(ks, []uint64{a, b}, []int{w, w}, 0, w+1)
+		want := evalUint(rc, []uint64{a, b}, []int{w, w}, 0, w+1)
+		if got != want || got != a+b {
+			t.Fatalf("%d+%d: ks=%d rc=%d", a, b, got, want)
+		}
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	const w = 8
+	g, err := BarrelShifter(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 100; k++ {
+		x := rng.Uint64() & 0xFF
+		s := rng.Uint64() & 7
+		got := evalUint(g, []uint64{x, s}, []int{8, 3}, 0, 8)
+		want := (x << s) & 0xFF
+		if got != want {
+			t.Fatalf("%d << %d = %d, want %d", x, s, got, want)
+		}
+	}
+}
+
+func TestALUAllOps(t *testing.T) {
+	const w = 6
+	g, err := ALU(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := uint64(1<<w - 1)
+	rng := rand.New(rand.NewSource(8))
+	for k := 0; k < 200; k++ {
+		a := rng.Uint64() & mask
+		b := rng.Uint64() & mask
+		op := rng.Uint64() & 3
+		got := evalUint(g, []uint64{a, b, op}, []int{w, w, 2}, 0, w)
+		var want uint64
+		switch ALUOp(op) {
+		case ALUAdd:
+			want = (a + b) & mask
+		case ALUSub:
+			want = (a - b) & mask
+		case ALUAnd:
+			want = a & b
+		case ALUXor:
+			want = a ^ b
+		}
+		if got != want {
+			t.Fatalf("op=%d a=%d b=%d: got %d want %d", op, a, b, got, want)
+		}
+	}
+}
+
+func TestBoothMatchesArrayMultiplier(t *testing.T) {
+	const w = 6
+	booth, err := MultiplierBooth(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for k := 0; k < 300; k++ {
+		a := rng.Uint64() & ((1 << w) - 1)
+		b := rng.Uint64() & ((1 << w) - 1)
+		got := evalUint(booth, []uint64{a, b}, []int{w, w}, 0, 2*w)
+		if got != a*b {
+			t.Fatalf("%d*%d = %d, want %d", a, b, got, a*b)
+		}
+	}
+}
+
+func TestExtraNamesViaBenchmark(t *testing.T) {
+	for _, name := range ExtraNames() {
+		g, err := Benchmark(name, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumAnds() == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simsweep/internal/aig"
+)
+
+// evalBV drives g with packed integers and decodes a bit-slice of the
+// outputs as an unsigned integer.
+func evalUint(g *aig.AIG, inputs []uint64, widths []int, outLo, outHi int) uint64 {
+	in := make([]bool, 0, g.NumPIs())
+	for w, width := range widths {
+		for i := 0; i < width; i++ {
+			in = append(in, (inputs[w]>>uint(i))&1 == 1)
+		}
+	}
+	if len(in) != g.NumPIs() {
+		panic("evalUint: width mismatch")
+	}
+	out := g.Eval(in)
+	var v uint64
+	for i := outLo; i < outHi && i < len(out); i++ {
+		if out[i] {
+			v |= 1 << uint(i-outLo)
+		}
+	}
+	return v
+}
+
+func TestAdderComputesSum(t *testing.T) {
+	g, err := Adder(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 100; k++ {
+		a := rng.Uint64() & 63
+		b := rng.Uint64() & 63
+		got := evalUint(g, []uint64{a, b}, []int{6, 6}, 0, 7)
+		if got != a+b {
+			t.Fatalf("%d+%d = %d, want %d", a, b, got, a+b)
+		}
+	}
+}
+
+func TestMultiplierComputesProduct(t *testing.T) {
+	g, err := Multiplier(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k < 100; k++ {
+		a := rng.Uint64() & 63
+		b := rng.Uint64() & 63
+		got := evalUint(g, []uint64{a, b}, []int{6, 6}, 0, 12)
+		if got != a*b {
+			t.Fatalf("%d*%d = %d, want %d", a, b, got, a*b)
+		}
+	}
+}
+
+func TestSquareMatchesMultiplier(t *testing.T) {
+	g, err := SquareCircuit(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 64; a++ {
+		got := evalUint(g, []uint64{a}, []int{6}, 0, 12)
+		if got != a*a {
+			t.Fatalf("%d² = %d, want %d", a, got, a*a)
+		}
+	}
+}
+
+func TestSqrtComputesFloorRoot(t *testing.T) {
+	g, err := SqrtCircuit(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 256; x++ {
+		got := evalUint(g, []uint64{x}, []int{8}, 0, 4)
+		want := uint64(math.Sqrt(float64(x)))
+		for (want+1)*(want+1) <= x {
+			want++
+		}
+		for want*want > x {
+			want--
+		}
+		if got != want {
+			t.Fatalf("sqrt(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestHypComputesHypotenuse(t *testing.T) {
+	g, err := Hyp(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 60; k++ {
+		a := rng.Uint64() & 31
+		b := rng.Uint64() & 31
+		got := evalUint(g, []uint64{a, b}, []int{5, 5}, 0, g.NumPOs())
+		sq := a*a + b*b
+		want := uint64(math.Sqrt(float64(sq)))
+		for (want+1)*(want+1) <= sq {
+			want++
+		}
+		for want*want > sq {
+			want--
+		}
+		if got != want {
+			t.Fatalf("hyp(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestVoterComputesMajority(t *testing.T) {
+	g, err := Voter(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for k := 0; k < 200; k++ {
+		in := make([]bool, 9)
+		ones := 0
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+			if in[i] {
+				ones++
+			}
+		}
+		got := g.Eval(in)[0]
+		if got != (ones > 4) {
+			t.Fatalf("majority of %v = %v", in, got)
+		}
+	}
+}
+
+func TestPopCountExact(t *testing.T) {
+	g := aig.New()
+	in := make([]aig.Lit, 7)
+	for i := range in {
+		in[i] = g.AddPI()
+	}
+	AddPOs(g, PopCount(g, in))
+	for pat := 0; pat < 128; pat++ {
+		bits := make([]bool, 7)
+		ones := uint64(0)
+		for i := range bits {
+			bits[i] = (pat>>uint(i))&1 == 1
+			if bits[i] {
+				ones++
+			}
+		}
+		out := g.Eval(bits)
+		var got uint64
+		for i, v := range out {
+			if v {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != ones {
+			t.Fatalf("popcount(%07b) = %d, want %d", pat, got, ones)
+		}
+	}
+}
+
+func TestLog2AndSinBuild(t *testing.T) {
+	// The polynomial datapaths are approximations; assert structure, not
+	// numerics: they must build, be deterministic, and be non-trivial.
+	for _, name := range []string{"log2", "sin"} {
+		g1, err := Benchmark(name, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := Benchmark(name, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.NumAnds() == 0 || g1.NumAnds() != g2.NumAnds() {
+			t.Fatalf("%s not deterministic or trivial: %d vs %d ANDs", name, g1.NumAnds(), g2.NumAnds())
+		}
+		if g1.Level() < 5 {
+			t.Fatalf("%s too shallow: %d levels", name, g1.Level())
+		}
+	}
+}
+
+func TestControlFabrics(t *testing.T) {
+	ac, err := Control(StyleAC97, 8, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vga, err := Control(StyleVGA, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.NumAnds() == 0 || vga.NumAnds() == 0 {
+		t.Fatal("empty control fabric")
+	}
+	// AC97-style is shallower than VGA-style, as in the IWLS originals.
+	if ac.Level() >= vga.Level() {
+		t.Fatalf("ac97 level %d not below vga level %d", ac.Level(), vga.Level())
+	}
+	// Determinism.
+	ac2, _ := Control(StyleAC97, 8, 97)
+	if ac.NumAnds() != ac2.NumAnds() {
+		t.Fatal("control fabric not deterministic")
+	}
+	// A different seed gives a different netlist.
+	ac3, _ := Control(StyleAC97, 8, 98)
+	if ac.NumAnds() == ac3.NumAnds() && ac.Level() == ac3.Level() {
+		t.Log("seed change produced same stats (possible but suspicious)")
+	}
+}
+
+func TestBenchmarkNamesAllBuild(t *testing.T) {
+	for _, name := range Names() {
+		g, err := Benchmark(name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumPOs() == 0 || g.NumAnds() == 0 {
+			t.Fatalf("%s: degenerate circuit %s", name, g.Stats())
+		}
+		if g.Name != name && name != "adder" {
+			t.Fatalf("%s: name recorded as %q", name, g.Name)
+		}
+	}
+	if _, err := Benchmark("nonexistent", 4); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	if _, err := Multiplier(1); err == nil {
+		t.Fatal("width 1 multiplier accepted")
+	}
+	if _, err := Log2(2); err == nil {
+		t.Fatal("width 2 log2 accepted")
+	}
+}
+
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	g := aig.New()
+	a := Inputs(g, 8)
+	b := Inputs(g, 8)
+	sum, _ := Add(g, a, b)
+	diff, borrow := Sub(g, sum, b)
+	AddPOs(g, diff)
+	g.AddPO(borrow)
+	// (x + y) − y over 8-bit arithmetic is x again.
+	f := func(x, y uint8) bool {
+		got := evalUint(g, []uint64{uint64(x), uint64(y)}, []int{8, 8}, 0, 8)
+		return got == uint64(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package par provides the parallel execution substrate of the CEC engine.
+//
+// The original system dispatches its algorithms as CUDA kernels over flat
+// index spaces on a GPU. This package is the CPU substitution: a Device
+// executes the same flat index spaces over a pool of goroutines, honouring
+// the same barriers between launches (a Launch returns only when every index
+// has been processed, exactly like a kernel launch followed by a device
+// synchronisation). Per-kernel statistics are recorded so that benchmarks
+// can report launch counts and per-kernel time, mirroring a CUDA profile.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Device executes flat index spaces in parallel. The zero value is not
+// usable; create one with NewDevice. A Device is safe for concurrent use,
+// although the engine launches kernels from a single control goroutine,
+// matching the single-stream execution model of the paper.
+type Device struct {
+	workers int
+
+	mu    sync.Mutex
+	stats map[string]*KernelStats
+}
+
+// KernelStats aggregates the executions of one named kernel.
+type KernelStats struct {
+	Launches int           // number of Launch calls
+	Items    int64         // total number of indices processed
+	Time     time.Duration // wall-clock time spent inside Launch
+}
+
+// NewDevice returns a Device with the given degree of parallelism.
+// workers <= 0 selects runtime.NumCPU().
+func NewDevice(workers int) *Device {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Device{workers: workers, stats: make(map[string]*KernelStats)}
+}
+
+// Workers reports the degree of parallelism of the device.
+func (d *Device) Workers() int { return d.workers }
+
+// Launch executes fn for every index in [0, n), in parallel, and returns
+// when all indices have been processed. The name keys the kernel statistics.
+// fn must not panic; indices are distributed in contiguous chunks to keep
+// memory access patterns coalesced-like (neighbouring indices touch
+// neighbouring data), which is the CPU analogue of the coalescing argument
+// in the paper.
+func (d *Device) Launch(name string, n int, fn func(i int)) {
+	start := time.Now()
+	d.parallelFor(n, fn)
+	d.record(name, n, time.Since(start))
+}
+
+// LaunchChunked is like Launch but hands each worker a contiguous range
+// [lo, hi) instead of a single index, avoiding per-index closure overhead in
+// hot kernels (the word-level dimension of parallelism).
+func (d *Device) LaunchChunked(name string, n int, fn func(lo, hi int)) {
+	start := time.Now()
+	d.parallelRange(n, fn)
+	d.record(name, n, time.Since(start))
+}
+
+func (d *Device) record(name string, n int, dt time.Duration) {
+	d.mu.Lock()
+	ks := d.stats[name]
+	if ks == nil {
+		ks = &KernelStats{}
+		d.stats[name] = ks
+	}
+	ks.Launches++
+	ks.Items += int64(n)
+	ks.Time += dt
+	d.mu.Unlock()
+}
+
+func (d *Device) parallelFor(n int, fn func(i int)) {
+	d.parallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+func (d *Device) parallelRange(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := d.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	// Contiguous chunks, dynamically claimed so uneven per-index cost
+	// (e.g. windows of different size) still balances.
+	const chunksPerWorker = 4
+	chunk := n / (w * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Stats returns a copy of the per-kernel statistics accumulated so far.
+func (d *Device) Stats() map[string]KernelStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]KernelStats, len(d.stats))
+	for name, ks := range d.stats {
+		out[name] = *ks
+	}
+	return out
+}
+
+// ResetStats clears the accumulated kernel statistics.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	d.stats = make(map[string]*KernelStats)
+	d.mu.Unlock()
+}
+
+// Profile renders the kernel statistics as a small table sorted by
+// decreasing total time, suitable for logs.
+func (d *Device) Profile() string {
+	stats := d.Stats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return stats[names[i]].Time > stats[names[j]].Time })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %10s %14s %12s\n", "kernel", "launches", "items", "time")
+	for _, name := range names {
+		ks := stats[name]
+		fmt.Fprintf(&b, "%-32s %10d %14d %12s\n", name, ks.Launches, ks.Items, ks.Time.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLaunchCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		d := NewDevice(workers)
+		const n = 10007
+		seen := make([]int32, n)
+		d.Launch("cover", n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d processed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestLaunchChunkedCoversAllIndices(t *testing.T) {
+	d := NewDevice(8)
+	const n = 4096
+	seen := make([]int32, n)
+	d.LaunchChunked("chunk", n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d processed %d times", i, c)
+		}
+	}
+}
+
+func TestLaunchZeroAndOne(t *testing.T) {
+	d := NewDevice(4)
+	d.Launch("empty", 0, func(i int) { t.Fatal("called for empty range") })
+	called := 0
+	d.Launch("one", 1, func(i int) { called++ })
+	if called != 1 {
+		t.Fatalf("single-index launch called %d times", called)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := NewDevice(2)
+	d.Launch("k", 10, func(int) {})
+	d.Launch("k", 20, func(int) {})
+	s := d.Stats()["k"]
+	if s.Launches != 2 || s.Items != 30 {
+		t.Fatalf("stats = %+v, want 2 launches / 30 items", s)
+	}
+	d.ResetStats()
+	if len(d.Stats()) != 0 {
+		t.Fatal("ResetStats did not clear statistics")
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if NewDevice(0).Workers() < 1 {
+		t.Fatal("default device has no workers")
+	}
+}
+
+func TestProfileContainsKernel(t *testing.T) {
+	d := NewDevice(2)
+	d.Launch("mykernel", 5, func(int) {})
+	if p := d.Profile(); !contains(p, "mykernel") {
+		t.Fatalf("profile missing kernel name:\n%s", p)
+	}
+}
+
+func TestConcurrentLaunchesAreSafe(t *testing.T) {
+	// Portfolio members share nothing, but a Device's stats map must
+	// survive concurrent kernels (the race detector guards this test).
+	d := NewDevice(4)
+	donech := make(chan struct{})
+	for k := 0; k < 4; k++ {
+		go func(k int) {
+			defer func() { donech <- struct{}{} }()
+			var sum int64
+			d.Launch("concurrent", 1000, func(i int) {
+				atomic.AddInt64(&sum, int64(i))
+			})
+			if sum != 1000*999/2 {
+				t.Errorf("goroutine %d: sum = %d", k, sum)
+			}
+		}(k)
+	}
+	for k := 0; k < 4; k++ {
+		<-donech
+	}
+	if s := d.Stats()["concurrent"]; s.Launches != 4 || s.Items != 4000 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWorkerCapExceedsN(t *testing.T) {
+	d := NewDevice(64)
+	var count int32
+	d.Launch("tiny", 3, func(int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

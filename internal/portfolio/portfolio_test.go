@@ -1,0 +1,139 @@
+package portfolio
+
+import (
+	"testing"
+	"time"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/bdd"
+	"simsweep/internal/satsweep"
+)
+
+func xorMiter(equivalent bool) *aig.AIG {
+	g := aig.New()
+	a := g.AddPI()
+	b := g.AddPI()
+	x1 := g.Xor(a, b)
+	x2 := g.And(g.Or(a, b), g.And(a, b).Not())
+	if !equivalent {
+		x2 = g.Or(a, b)
+	}
+	g.AddPO(g.Xor(x1, x2))
+	return g
+}
+
+func bddEngine(limit int) Engine {
+	return Engine{
+		Name: "bdd",
+		Run: func(m *aig.AIG, stop <-chan struct{}) (Verdict, []bool) {
+			equal, cex, err := bdd.CheckMiter(m, limit)
+			if err != nil {
+				return Undecided, nil
+			}
+			if equal {
+				return Equivalent, nil
+			}
+			return NotEquivalent, cex
+		},
+	}
+}
+
+func satEngine() Engine {
+	return Engine{
+		Name: "satsweep",
+		Run: func(m *aig.AIG, stop <-chan struct{}) (Verdict, []bool) {
+			res := satsweep.CheckMiter(m, satsweep.Options{Stop: stop, Seed: 11})
+			switch res.Outcome {
+			case satsweep.Equivalent:
+				return Equivalent, nil
+			case satsweep.NotEquivalent:
+				return NotEquivalent, res.CEX
+			}
+			return Undecided, nil
+		},
+	}
+}
+
+func TestPortfolioEquivalent(t *testing.T) {
+	res := Check(xorMiter(true), []Engine{bddEngine(0), satEngine()})
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict = %v (engine %s)", res.Verdict, res.Engine)
+	}
+	if res.Engine == "" {
+		t.Fatal("no winning engine recorded")
+	}
+}
+
+func TestPortfolioInequivalent(t *testing.T) {
+	m := xorMiter(false)
+	res := Check(m, []Engine{bddEngine(0), satEngine()})
+	if res.Verdict != NotEquivalent {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Engine == "bdd" && res.CEX == nil {
+		t.Fatal("bdd won without a counter-example")
+	}
+	if res.CEX != nil {
+		fired := false
+		for _, v := range m.Eval(res.CEX) {
+			fired = fired || v
+		}
+		if !fired {
+			t.Fatalf("CEX %v does not fire the miter", res.CEX)
+		}
+	}
+}
+
+func TestPortfolioAllUndecided(t *testing.T) {
+	undecided := Engine{
+		Name: "stub",
+		Run: func(m *aig.AIG, stop <-chan struct{}) (Verdict, []bool) {
+			return Undecided, nil
+		},
+	}
+	res := Check(xorMiter(true), []Engine{undecided, undecided})
+	if res.Verdict != Undecided {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Engine != "" {
+		t.Fatalf("undecided run credited engine %q", res.Engine)
+	}
+}
+
+func TestPortfolioCancelsLosers(t *testing.T) {
+	cancelled := make(chan struct{})
+	slow := Engine{
+		Name: "slow",
+		Run: func(m *aig.AIG, stop <-chan struct{}) (Verdict, []bool) {
+			select {
+			case <-stop:
+				close(cancelled)
+				return Undecided, nil
+			case <-time.After(10 * time.Second):
+				return Undecided, nil
+			}
+		},
+	}
+	fast := Engine{
+		Name: "fast",
+		Run: func(m *aig.AIG, stop <-chan struct{}) (Verdict, []bool) {
+			return Equivalent, nil
+		},
+	}
+	start := time.Now()
+	res := Check(xorMiter(true), []Engine{slow, fast})
+	if res.Verdict != Equivalent || res.Engine != "fast" {
+		t.Fatalf("res = %+v", res)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("portfolio waited for the slow engine")
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("loser engine was not cancelled")
+	}
+	if res.PerEngine["fast"] != Equivalent {
+		t.Fatalf("per-engine verdicts = %v", res.PerEngine)
+	}
+}

@@ -1,0 +1,347 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, false)) {
+		t.Fatal("unit clause rejected")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if !s.Value(a) {
+		t.Fatal("unit not assigned true")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if s.AddClause(MkLit(a, true)) {
+		t.Fatal("contradicting unit accepted")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	if !s.AddClause(MkLit(a, false), MkLit(a, true)) {
+		t.Fatal("tautology rejected")
+	}
+	if !s.AddClause(MkLit(a, false), MkLit(a, false), MkLit(b, false)) {
+		t.Fatal("duplicate literals rejected")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n) is unsatisfiable and requires real conflict analysis.
+	for _, n := range []int{3, 4, 5} {
+		s := New()
+		// vars[p][h]: pigeon p in hole h.
+		vars := make([][]int, n+1)
+		for p := range vars {
+			vars[p] = make([]int, n)
+			for h := range vars[p] {
+				vars[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p <= n; p++ {
+			cl := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				cl[h] = MkLit(vars[p][h], false)
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+				}
+			}
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("PHP(%d,%d) = %v, want UNSAT", n+1, n, st)
+		}
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colourable.
+	s := New()
+	const n, k = 5, 3
+	v := make([][]int, n)
+	for i := range v {
+		v[i] = make([]int, k)
+		for c := range v[i] {
+			v[i][c] = s.NewVar()
+		}
+		cl := make([]Lit, k)
+		for c := 0; c < k; c++ {
+			cl[c] = MkLit(v[i][c], false)
+		}
+		s.AddClause(cl...)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		for c := 0; c < k; c++ {
+			s.AddClause(MkLit(v[i][c], true), MkLit(v[j][c], true))
+		}
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("5-cycle 3-colouring = %v", st)
+	}
+	// Verify the model.
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		any := false
+		for c := 0; c < k; c++ {
+			if s.Value(v[i][c]) {
+				any = true
+				if s.Value(v[j][c]) {
+					t.Fatalf("adjacent vertices %d,%d share colour %d", i, j, c)
+				}
+			}
+		}
+		if !any {
+			t.Fatalf("vertex %d uncoloured", i)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	c := s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, false)) // a -> b
+	s.AddClause(MkLit(b, true), MkLit(c, false)) // b -> c
+	if st := s.Solve(MkLit(a, false), MkLit(c, true)); st != Unsat {
+		t.Fatalf("a & !c = %v, want UNSAT", st)
+	}
+	if st := s.Solve(MkLit(a, false)); st != Sat {
+		t.Fatalf("a = %v, want SAT", st)
+	}
+	if !s.Value(b) || !s.Value(c) {
+		t.Fatal("implications not propagated under assumption")
+	}
+	// Solver must remain reusable after an assumption-unsat call.
+	if st := s.Solve(MkLit(c, true)); st != Sat {
+		t.Fatalf("!c alone = %v, want SAT", st)
+	}
+	if s.Value(a) {
+		t.Fatal("a must be false when c is false")
+	}
+}
+
+func TestConflictLimit(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget returns Unknown.
+	s := New()
+	n := 8
+	vars := make([][]int, n+1)
+	for p := range vars {
+		vars[p] = make([]int, n)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+	s.SetConflictLimit(10)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("budgeted PHP = %v, want Unknown", st)
+	}
+	s.SetConflictLimit(0)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("unbudgeted PHP = %v, want Unsat", st)
+	}
+}
+
+// bruteForce decides satisfiability of a clause set by enumeration.
+func bruteForce(numVars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(numVars); m++ {
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				val := (m>>uint(l.Var()))&1 == 1
+				if val != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		numVars := 4 + rng.Intn(5)
+		numClauses := 2 + rng.Intn(30)
+		clauses := make([][]Lit, numClauses)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(numVars), rng.Intn(2) == 1)
+			}
+			clauses[i] = cl
+		}
+		s := New()
+		for v := 0; v < numVars; v++ {
+			s.NewVar()
+		}
+		okAdd := true
+		for _, cl := range clauses {
+			if !s.AddClause(cl...) {
+				okAdd = false
+				break
+			}
+		}
+		want := bruteForce(numVars, clauses)
+		var got Status
+		if !okAdd {
+			got = Unsat
+		} else {
+			got = s.Solve()
+		}
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v clauses=%v", trial, got, want, clauses)
+		}
+		if got == Sat {
+			// Verify the model satisfies every clause.
+			for ci, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					if s.Value(l.Var()) != l.Sign() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model violates clause %d", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomWithAssumptionsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		numVars := 4 + rng.Intn(4)
+		numClauses := 2 + rng.Intn(20)
+		clauses := make([][]Lit, numClauses)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(numVars), rng.Intn(2) == 1)
+			}
+			clauses[i] = cl
+		}
+		s := New()
+		for v := 0; v < numVars; v++ {
+			s.NewVar()
+		}
+		okAdd := true
+		for _, cl := range clauses {
+			if !s.AddClause(cl...) {
+				okAdd = false
+				break
+			}
+		}
+		// Two incremental calls with different assumptions.
+		for call := 0; call < 2; call++ {
+			na := 1 + rng.Intn(2)
+			seenVar := map[int]bool{}
+			var assumps []Lit
+			for len(assumps) < na {
+				v := rng.Intn(numVars)
+				if seenVar[v] {
+					continue
+				}
+				seenVar[v] = true
+				assumps = append(assumps, MkLit(v, rng.Intn(2) == 1))
+			}
+			all := append([][]Lit{}, clauses...)
+			for _, a := range assumps {
+				all = append(all, []Lit{a})
+			}
+			want := bruteForce(numVars, all)
+			var got Status
+			if !okAdd {
+				got = Unsat
+			} else {
+				got = s.Solve(assumps...)
+			}
+			if (got == Sat) != want {
+				t.Fatalf("trial %d call %d: solver=%v brute=%v", trial, call, got, want)
+			}
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestManyVarsStressSat(t *testing.T) {
+	// A long implication chain plus random satisfiable 2-SAT noise.
+	s := New()
+	const n = 2000
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+	}
+	s.AddClause(MkLit(vars[0], false))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("chain = %v", st)
+	}
+	for i := range vars {
+		if !s.Value(vars[i]) {
+			t.Fatalf("var %d not propagated true", i)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package satsweep implements the SAT sweeping baseline the paper compares
+// against: the algorithm of ABC's &cec checker. Random simulation clusters
+// miter nodes into equivalence classes, candidate pairs are proved or
+// refuted by conflict-limited incremental SAT queries, counter-examples
+// refine the classes, proved pairs reduce the miter FRAIG-style, and the
+// loop repeats until the miter is decided or no further progress is made.
+package satsweep
+
+import (
+	"time"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/cnf"
+	"simsweep/internal/ec"
+	"simsweep/internal/miter"
+	"simsweep/internal/par"
+	"simsweep/internal/sat"
+	"simsweep/internal/sim"
+)
+
+// Outcome is the verdict of a CEC run.
+type Outcome int
+
+// CEC verdicts.
+const (
+	Undecided Outcome = iota
+	Equivalent
+	NotEquivalent
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Equivalent:
+		return "equivalent"
+	case NotEquivalent:
+		return "NOT equivalent"
+	}
+	return "undecided"
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Dev supplies the parallel device for simulation; nil creates a
+	// default one.
+	Dev *par.Device
+	// ConflictLimit bounds each SAT call (ABC's -C); 0 means unlimited.
+	ConflictLimit int64
+	// SimWords is the number of 64-pattern words of initial random
+	// stimulus (default 8).
+	SimWords int
+	// Seed seeds the random patterns.
+	Seed int64
+	// MaxRounds bounds the sweep-reduce iterations (default 64).
+	MaxRounds int
+	// Stop, when non-nil, cancels the sweep cooperatively (checked
+	// between SAT calls); a cancelled run returns Undecided.
+	Stop <-chan struct{}
+	// SeedBank prepends an upstream simulator's pattern bank (per PI
+	// index) to the random stimulus — the paper's §V "EC transferring":
+	// pairs already disproved upstream never reach the SAT solver.
+	SeedBank [][]uint64
+}
+
+func (o *Options) stopped() bool {
+	if o.Stop == nil {
+		return false
+	}
+	select {
+	case <-o.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (o *Options) fill() {
+	if o.Dev == nil {
+		o.Dev = par.NewDevice(0)
+	}
+	if o.SimWords <= 0 {
+		o.SimWords = 8
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 64
+	}
+}
+
+// Stats reports the work of a sweep.
+type Stats struct {
+	SATCalls  int
+	Proved    int
+	Disproved int
+	Unknown   int
+	Rounds    int
+	Runtime   time.Duration
+}
+
+// Result is the outcome of CheckMiter: the verdict, a PI counter-example
+// when NotEquivalent, the final (possibly reduced) miter, and statistics.
+type Result struct {
+	Outcome Outcome
+	CEX     []bool
+	Reduced *aig.AIG
+	Stats   Stats
+}
+
+// CheckMiter decides whether the miter m is constant zero. With an
+// unlimited conflict budget the sweep is complete: it returns Equivalent or
+// NotEquivalent. With a budget it may return Undecided together with the
+// reduced miter.
+func CheckMiter(m *aig.AIG, opt Options) Result {
+	start := time.Now()
+	res := checkMiter(m, opt)
+	res.Stats.Runtime = time.Since(start)
+	return res
+}
+
+func checkMiter(m *aig.AIG, opt Options) Result {
+	opt.fill()
+	res := Result{Reduced: m}
+
+	partial := sim.NewPartial(opt.Dev, m.NumPIs(), opt.SimWords, opt.Seed)
+	if opt.SeedBank != nil {
+		partial.ImportBank(opt.SeedBank)
+	}
+
+	cur := m
+	for round := 0; round < opt.MaxRounds; round++ {
+		if opt.stopped() {
+			res.Reduced = cur
+			return res
+		}
+		res.Stats.Rounds++
+		if miter.IsProved(cur) {
+			res.Outcome = Equivalent
+			res.Reduced = cur
+			return res
+		}
+
+		sims := partial.Simulate(cur)
+		if po, assign := partial.FindNonZeroPO(cur, sims); po >= 0 {
+			res.Outcome = NotEquivalent
+			res.CEX = assignToInputs(cur, assign)
+			res.Reduced = cur
+			return res
+		}
+		classes := ec.Build(cur.NumNodes(), func(id int) []uint64 { return sims[id] }, func(id int) bool {
+			return cur.IsAnd(id) || cur.IsPI(id)
+		})
+
+		merges, progressed := sweepRound(cur, classes, partial, opt, &res.Stats)
+		if len(merges) > 0 {
+			reduced, _, err := miter.Reduce(cur, merges)
+			if err != nil {
+				// A merge-bookkeeping bug would surface here; treat
+				// the case as undecided rather than report wrongly.
+				res.Reduced = cur
+				return res
+			}
+			cur = reduced
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// Final PO decision on whatever remains, with the same budget.
+	return finishPOs(cur, opt, res)
+}
+
+// sweepRound SAT-checks every candidate pair once. It returns the proved
+// merges and whether anything happened (a proof or a refinement) that
+// makes another round worthwhile.
+func sweepRound(cur *aig.AIG, classes *ec.Manager, partial *sim.Partial, opt Options, stats *Stats) ([]miter.Merge, bool) {
+	solver := sat.New()
+	solver.SetConflictLimit(opt.ConflictLimit)
+	enc := cnf.NewEncoder(cur, solver)
+	piIndex := piIndexOf(cur)
+
+	var merges []miter.Merge
+	progressed := false
+	mergedInto := make(map[int32]bool)
+	for _, pair := range classes.Pairs() {
+		if opt.stopped() {
+			break
+		}
+		if !cur.IsAnd(int(pair.Member)) {
+			continue // PIs cannot be merged away
+		}
+		// Skip members whose representative was itself disproved and
+		// re-split this round; their pair will regenerate next round.
+		if mergedInto[pair.Member] {
+			continue
+		}
+		a := aig.MakeLit(int(pair.Repr), false)
+		b := aig.MakeLit(int(pair.Member), pair.Compl)
+		assume := enc.XorAssumption(a, b)
+		stats.SATCalls++
+		switch solver.Solve(assume) {
+		case sat.Unsat:
+			stats.Proved++
+			progressed = true
+			merges = append(merges, miter.Merge{
+				Member: pair.Member,
+				Target: aig.MakeLit(int(pair.Repr), pair.Compl),
+			})
+			mergedInto[pair.Member] = true
+		case sat.Sat:
+			stats.Disproved++
+			progressed = true
+			partial.AddPattern(modelPattern(cur, enc, piIndex))
+		default:
+			stats.Unknown++
+		}
+	}
+	return merges, progressed
+}
+
+// finishPOs proves or refutes each remaining non-constant PO by SAT.
+func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
+	solver := sat.New()
+	solver.SetConflictLimit(opt.ConflictLimit)
+	enc := cnf.NewEncoder(cur, solver)
+	piIndex := piIndexOf(cur)
+
+	var merges []miter.Merge
+	undecided := false
+	for i := 0; i < cur.NumPOs(); i++ {
+		if opt.stopped() {
+			res.Reduced = cur
+			return res
+		}
+		po := cur.PO(i)
+		if po == aig.False {
+			continue
+		}
+		if po == aig.True {
+			res.Outcome = NotEquivalent
+			res.Reduced = cur
+			return res
+		}
+		res.Stats.SATCalls++
+		switch solver.Solve(enc.LitOf(po)) {
+		case sat.Unsat:
+			res.Stats.Proved++
+			// PO is constant zero: node(po) == compl flag.
+			merges = append(merges, miter.Merge{
+				Member: int32(po.ID()),
+				Target: aig.False.NotIf(po.IsCompl()),
+			})
+		case sat.Sat:
+			res.Stats.Disproved++
+			res.Outcome = NotEquivalent
+			res.CEX = assignToInputs(cur, modelPattern(cur, enc, piIndex))
+			res.Reduced = cur
+			return res
+		default:
+			res.Stats.Unknown++
+			undecided = true
+		}
+	}
+	if len(merges) > 0 {
+		if reduced, _, err := miter.Reduce(cur, merges); err == nil {
+			cur = reduced
+		}
+	}
+	res.Reduced = cur
+	if !undecided && miter.IsProved(cur) {
+		res.Outcome = Equivalent
+	}
+	return res
+}
+
+// piIndexOf maps PI node ids to PI positions.
+func piIndexOf(g *aig.AIG) map[int]int {
+	m := make(map[int]int, g.NumPIs())
+	for i := 0; i < g.NumPIs(); i++ {
+		m[g.PIID(i)] = i
+	}
+	return m
+}
+
+// modelPattern extracts the PI assignment of the current SAT model.
+// Unencoded PIs are unconstrained and default to false.
+func modelPattern(g *aig.AIG, enc *cnf.Encoder, piIndex map[int]int) []sim.PIValue {
+	out := make([]sim.PIValue, 0, len(piIndex))
+	for id, idx := range piIndex {
+		v, ok := enc.Model(id)
+		out = append(out, sim.PIValue{Index: idx, Value: v && ok})
+	}
+	return out
+}
+
+func assignToInputs(g *aig.AIG, assign []sim.PIValue) []bool {
+	in := make([]bool, g.NumPIs())
+	for _, a := range assign {
+		in[a.Index] = a.Value
+	}
+	return in
+}

@@ -1,0 +1,339 @@
+package satsweep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/gen"
+	"simsweep/internal/miter"
+)
+
+// adder builds an n-bit ripple-carry adder; variant changes the carry
+// structure without changing the function.
+func adder(n int, variant bool) *aig.AIG {
+	g := aig.New()
+	a := make([]aig.Lit, n)
+	b := make([]aig.Lit, n)
+	for i := range a {
+		a[i] = g.AddPI()
+	}
+	for i := range b {
+		b[i] = g.AddPI()
+	}
+	carry := aig.False
+	for i := 0; i < n; i++ {
+		if variant {
+			g.AddPO(g.Xor(g.Xor(a[i], b[i]), carry))
+			carry = g.Or(g.And(a[i], b[i]), g.And(carry, g.Or(a[i], b[i])))
+		} else {
+			t := g.Xor(b[i], carry)
+			g.AddPO(g.Xor(a[i], t))
+			carry = g.Or(g.And(a[i], b[i]), g.And(g.Xor(a[i], b[i]), carry))
+		}
+	}
+	g.AddPO(carry)
+	return g
+}
+
+func TestSweepProvesAdderEquivalence(t *testing.T) {
+	m, err := miter.Build(adder(6, false), adder(6, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 1})
+	if res.Outcome != Equivalent {
+		t.Fatalf("outcome = %v, stats = %+v", res.Outcome, res.Stats)
+	}
+	if res.Stats.SATCalls == 0 {
+		t.Fatal("sweep proved a non-trivial miter with zero SAT calls")
+	}
+}
+
+func TestSweepFindsBug(t *testing.T) {
+	good := adder(5, false)
+	bad := adder(5, true)
+	// Corrupt one output of bad.
+	bad.SetPO(2, bad.PO(2).Not())
+	m, err := miter.Build(good, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 2})
+	if res.Outcome != NotEquivalent {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.CEX == nil {
+		t.Fatal("no counter-example")
+	}
+	out := m.Eval(res.CEX)
+	fired := false
+	for _, v := range out {
+		fired = fired || v
+	}
+	if !fired {
+		t.Fatalf("CEX %v does not fire the miter", res.CEX)
+	}
+}
+
+func TestSweepSubtleBugNeedsSAT(t *testing.T) {
+	// A bug that random simulation is unlikely to hit: outputs differ
+	// only when all 12 inputs are 1.
+	g1 := aig.New()
+	g2 := aig.New()
+	var x1, x2 []aig.Lit
+	for i := 0; i < 12; i++ {
+		x1 = append(x1, g1.AddPI())
+		x2 = append(x2, g2.AddPI())
+	}
+	andAll := func(g *aig.AIG, xs []aig.Lit) aig.Lit {
+		acc := aig.True
+		for _, x := range xs {
+			acc = g.And(acc, x)
+		}
+		return acc
+	}
+	o1 := g1.Xor(x1[0], x1[1])
+	o2 := g2.Xor(g2.Xor(x2[0], x2[1]), andAll(g2, x2)) // flips on all-ones
+	g1.AddPO(o1)
+	g2.AddPO(o2)
+	m, err := miter.Build(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 3, SimWords: 1})
+	if res.Outcome != NotEquivalent {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	for i, v := range res.CEX {
+		if !v {
+			t.Fatalf("CEX[%d] = false, want all-ones: %v", i, res.CEX)
+		}
+	}
+}
+
+func TestSweepConflictBudgetUndecided(t *testing.T) {
+	// A miter of two genuinely different multiplier-like cones with a
+	// one-conflict budget: the sweep must give up, not lie.
+	rng := rand.New(rand.NewSource(4))
+	mk := func(extra bool) *aig.AIG {
+		g := aig.New()
+		var xs []aig.Lit
+		for i := 0; i < 10; i++ {
+			xs = append(xs, g.AddPI())
+		}
+		lits := append([]aig.Lit{}, xs...)
+		r := rand.New(rand.NewSource(42)) // same structure both sides
+		for i := 0; i < 120; i++ {
+			a := lits[r.Intn(len(lits))].NotIf(r.Intn(2) == 1)
+			b := lits[r.Intn(len(lits))].NotIf(r.Intn(2) == 1)
+			lits = append(lits, g.And(a, b))
+		}
+		out := lits[len(lits)-1]
+		if extra {
+			// Restructure: balanced re-expression of the same output.
+			f0, f1 := g.Fanins(out.ID())
+			out = g.And(g.And(f0, f1), g.Or(f0, f1)).NotIf(out.IsCompl())
+		}
+		g.AddPO(out)
+		return g
+	}
+	_ = rng
+	m, err := miter.Build(mk(false), mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 5, ConflictLimit: 1, MaxRounds: 2})
+	// With a tiny budget the verdict may be Undecided; it must never be
+	// NotEquivalent (the circuits are equivalent by construction).
+	if res.Outcome == NotEquivalent {
+		t.Fatalf("budgeted sweep produced a wrong disproof")
+	}
+}
+
+func TestSweepStopCancels(t *testing.T) {
+	m, err := miter.Build(adder(8, false), adder(8, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	close(stop)
+	res := CheckMiter(m, Options{Seed: 6, Stop: stop})
+	if res.Outcome != Undecided {
+		t.Fatalf("cancelled sweep returned %v", res.Outcome)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if Equivalent.String() != "equivalent" || NotEquivalent.String() != "NOT equivalent" || Undecided.String() != "undecided" {
+		t.Fatal("outcome strings wrong")
+	}
+}
+
+func TestSweepFallsThroughToPOProof(t *testing.T) {
+	// A miter with no internal candidate pairs (the two majority
+	// implementations share all their small nodes structurally), so the
+	// sweep rounds make no progress and the final PO stage must prove
+	// the output constant by SAT.
+	g1 := aig.New()
+	a := g1.AddPI()
+	b := g1.AddPI()
+	c := g1.AddPI()
+	// maj = ab | c(a^b)
+	g1.AddPO(g1.Or(g1.And(a, b), g1.And(c, g1.Xor(a, b))))
+	g2 := aig.New()
+	a2 := g2.AddPI()
+	b2 := g2.AddPI()
+	c2 := g2.AddPI()
+	// maj = (a|b)c | ab
+	g2.AddPO(g2.Or(g2.And(g2.Or(a2, b2), c2), g2.And(a2, b2)))
+	m, err := miter.Build(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 12, SimWords: 4})
+	if res.Outcome != Equivalent {
+		t.Fatalf("outcome = %v (stats %+v)", res.Outcome, res.Stats)
+	}
+}
+
+func TestSweepPOProofDisproves(t *testing.T) {
+	// Same shape but genuinely different functions that random sim
+	// might distinguish only via the PO (tiny bank).
+	g1 := aig.New()
+	a := g1.AddPI()
+	b := g1.AddPI()
+	g1.AddPO(g1.And(a, b))
+	g2 := aig.New()
+	a2 := g2.AddPI()
+	b2 := g2.AddPI()
+	g2.AddPO(g2.Or(a2, b2))
+	m, err := miter.Build(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 13, SimWords: 1})
+	if res.Outcome != NotEquivalent {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if !fires(m, res.CEX) {
+		t.Fatal("invalid CEX")
+	}
+}
+
+func TestSweepBudgetExhaustionReachesPOStage(t *testing.T) {
+	// Array vs Booth multipliers share almost no internal structure and
+	// their PO equivalences are hard; with a one-conflict budget the
+	// sweep rounds stall on Unknown pairs and the final PO stage runs
+	// (and must also give up rather than guess).
+	array, err := gen.Multiplier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	booth, err := gen.MultiplierBooth(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := miter.Build(array, booth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 14, ConflictLimit: 1, MaxRounds: 3})
+	if res.Outcome == NotEquivalent {
+		t.Fatal("budgeted sweep disproved an equivalent miter")
+	}
+	// And with the budget lifted, the same miter is proved.
+	res = CheckMiter(m, Options{Seed: 14})
+	if res.Outcome != Equivalent {
+		t.Fatalf("unbudgeted outcome = %v", res.Outcome)
+	}
+}
+
+func TestSweepRuntimeRecorded(t *testing.T) {
+	m, err := miter.Build(adder(6, false), adder(6, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 9})
+	if res.Stats.Runtime <= 0 {
+		t.Fatalf("runtime not recorded: %v", res.Stats.Runtime)
+	}
+}
+
+func TestSweepReducedMiterSmaller(t *testing.T) {
+	m, err := miter.Build(adder(6, false), adder(6, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckMiter(m, Options{Seed: 7})
+	if res.Outcome != Equivalent {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if res.Reduced.NumAnds() != 0 {
+		t.Fatalf("proved miter still has %d ANDs", res.Reduced.NumAnds())
+	}
+}
+
+func TestQuickSweepAgreesWithEnumeration(t *testing.T) {
+	f := func(seed int64, mutate bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func(mutated bool) *aig.AIG {
+			r := rand.New(rand.NewSource(seed + 1000))
+			g := aig.New()
+			var lits []aig.Lit
+			for i := 0; i < 5; i++ {
+				lits = append(lits, g.AddPI())
+			}
+			for i := 0; i < 25; i++ {
+				a := lits[r.Intn(len(lits))].NotIf(r.Intn(2) == 1)
+				b := lits[r.Intn(len(lits))].NotIf(r.Intn(2) == 1)
+				lits = append(lits, g.And(a, b))
+			}
+			out := lits[len(lits)-1]
+			if mutated {
+				out = g.Xor(out, g.And(lits[5], lits[7]))
+			}
+			g.AddPO(out)
+			return g
+		}
+		g1 := build(false)
+		g2 := build(mutate)
+		m, err := miter.Build(g1, g2)
+		if err != nil {
+			return false
+		}
+		// Ground truth by enumeration.
+		same := true
+		for pat := 0; pat < 32; pat++ {
+			in := make([]bool, 5)
+			for i := range in {
+				in[i] = (pat>>uint(i))&1 == 1
+			}
+			if g1.Eval(in)[0] != g2.Eval(in)[0] {
+				same = false
+				break
+			}
+		}
+		res := CheckMiter(m, Options{Seed: rng.Int63(), SimWords: 1})
+		if same {
+			return res.Outcome == Equivalent
+		}
+		return res.Outcome == NotEquivalent && fires(m, res.CEX)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fires(m *aig.AIG, cex []bool) bool {
+	if cex == nil {
+		return false
+	}
+	for _, v := range m.Eval(cex) {
+		if v {
+			return true
+		}
+	}
+	return false
+}

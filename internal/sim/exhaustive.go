@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math/bits"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/par"
+	"simsweep/internal/tt"
+)
+
+// Pair is a candidate equivalence checked by exhaustive simulation: the
+// hypothesis B ≡ A ⊕ Compl over the node ids A and B. A may be 0, the
+// constant-false node, for candidate-constant checks (including miter PO
+// checking, where the hypothesis is PO ≡ 0).
+type Pair struct {
+	A, B  int32
+	Compl bool
+}
+
+// CEX is a counter-example disproving a pair: an assignment to the window
+// inputs under which the two roots differ. Index is the truth-table bit
+// index the mismatch was found at.
+type CEX struct {
+	Inputs []int32
+	Values []bool
+	Index  uint64
+}
+
+// Result reports the verdicts of a CheckBatch call, indexed like the pair
+// slice passed in. Equal[i] is true when the truth tables matched over the
+// window; CEXs[i] is non-nil when they did not. The interpretation is the
+// caller's: for global-function windows a mismatch is a disproof, for
+// local-function windows it is inconclusive (satisfiability don't cares).
+type Result struct {
+	Equal []bool
+	CEXs  []*CEX
+
+	// Rounds is the number of simulation rounds executed; WordsSimulated
+	// counts node·word units of work, for the benchmark harness.
+	Rounds         int
+	WordsSimulated int64
+}
+
+// Exhaustive is the exhaustive simulator (Algorithm 1). BudgetWords caps
+// the simulation-table size M in 64-bit words; the per-entry size E is
+// chosen on the fly as the largest power of two such that E·N ≤ M for N
+// total slots, and simulation proceeds in rounds over truth-table word
+// ranges [rE, (r+1)E).
+type Exhaustive struct {
+	Dev         *par.Device
+	BudgetWords int
+}
+
+// NewExhaustive returns a checker over dev with the given memory budget in
+// words (a non-positive budget selects 1<<22 words, 32 MiB).
+func NewExhaustive(dev *par.Device, budgetWords int) *Exhaustive {
+	if budgetWords <= 0 {
+		budgetWords = 1 << 22
+	}
+	return &Exhaustive{Dev: dev, BudgetWords: budgetWords}
+}
+
+// winState is the per-window precomputation for a batch.
+type winState struct {
+	win     *Window
+	base    int // first slot offset in the simulation table
+	slotOf  map[int32]int32
+	fanin   [][2]int32 // per node: fanin slots
+	compl   [][2]bool  // per node: fanin complement flags
+	levels  []int32    // per node: window-topological level
+	ttWords int
+	alive   int // unresolved pairs
+}
+
+// CheckBatch exhaustively checks all pairs over their windows. Each
+// window's PairIdx entries index into pairs. Both roots of every pair must
+// be inputs or nodes of the window (or the constant node 0).
+func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Result {
+	res := Result{
+		Equal: make([]bool, len(pairs)),
+		CEXs:  make([]*CEX, len(pairs)),
+	}
+	// A pair is "equal" when its window survives all rounds without a
+	// mismatch; pairs not referenced by any window stay false.
+	for _, w := range windows {
+		for _, pi := range w.PairIdx {
+			res.Equal[pi] = true
+		}
+	}
+
+	states := make([]*winState, len(windows))
+	totalSlots := 0
+	maxTT := 1
+	maxLevel := int32(0)
+	for wi, w := range windows {
+		st := &winState{win: w, base: totalSlots, ttWords: w.TTWords(), alive: len(w.PairIdx)}
+		totalSlots += w.NumSlots()
+		if st.ttWords > maxTT {
+			maxTT = st.ttWords
+		}
+		st.slotOf = make(map[int32]int32, w.NumSlots())
+		for j, id := range w.Inputs {
+			st.slotOf[id] = int32(j)
+		}
+		for j, id := range w.Nodes {
+			st.slotOf[id] = int32(len(w.Inputs) + j)
+		}
+		st.fanin = make([][2]int32, len(w.Nodes))
+		st.compl = make([][2]bool, len(w.Nodes))
+		st.levels = make([]int32, len(w.Nodes))
+		for j, id := range w.Nodes {
+			f0, f1 := g.Fanins(int(id))
+			s0, s1 := st.slotOf[int32(f0.ID())], st.slotOf[int32(f1.ID())]
+			st.fanin[j] = [2]int32{s0, s1}
+			st.compl[j] = [2]bool{f0.IsCompl(), f1.IsCompl()}
+			lv := int32(0)
+			for _, fs := range st.fanin[j] {
+				if int(fs) >= len(w.Inputs) {
+					if l := st.levels[int(fs)-len(w.Inputs)]; l > lv {
+						lv = l
+					}
+				}
+			}
+			st.levels[j] = lv + 1
+			if st.levels[j] > maxLevel {
+				maxLevel = st.levels[j]
+			}
+		}
+		states[wi] = st
+	}
+	if totalSlots == 0 {
+		totalSlots = 1
+	}
+
+	// Entry size E: the largest power of two with E·N ≤ M, clamped to
+	// [1, maxTT] (line 2 of Algorithm 1).
+	E := 1
+	for E*2*totalSlots <= e.BudgetWords && E*2 <= maxTT {
+		E *= 2
+	}
+	simt := make([]uint64, totalSlots*E)
+
+	// Flatten (window, node) jobs by window level for the level-parallel
+	// dimension, and (window, input) jobs for seeding.
+	type job struct{ win, idx int32 }
+	levelJobs := make([][]job, maxLevel+1)
+	var inputJobs []job
+	for wi, st := range states {
+		for j := range st.win.Nodes {
+			l := st.levels[j]
+			levelJobs[l] = append(levelJobs[l], job{int32(wi), int32(j)})
+		}
+		for j := range st.win.Inputs {
+			inputJobs = append(inputJobs, job{int32(wi), int32(j)})
+		}
+	}
+
+	rounds := (maxTT + E - 1) / E
+	active := make([]bool, len(states))
+	for r := 0; r < rounds; r++ {
+		anyActive := false
+		for wi, st := range states {
+			active[wi] = st.alive > 0 && st.ttWords > r*E
+			anyActive = anyActive || active[wi]
+		}
+		if !anyActive {
+			break
+		}
+		res.Rounds++
+
+		// Seed projection-table segments at the window inputs (line 9).
+		e.Dev.Launch("exhaustive.seed", len(inputJobs), func(i int) {
+			jb := inputJobs[i]
+			st := states[jb.win]
+			if !active[jb.win] {
+				return
+			}
+			off := (st.base + int(jb.idx)) * E
+			for t := 0; t < E; t++ {
+				simt[off+t] = tt.ProjectionWord(int(jb.idx), r*E+t)
+			}
+		})
+
+		// Level-wise parallel node simulation (lines 10-11).
+		for l := int32(1); l <= maxLevel; l++ {
+			batch := levelJobs[l]
+			if len(batch) == 0 {
+				continue
+			}
+			e.Dev.Launch("exhaustive.level", len(batch), func(i int) {
+				jb := batch[i]
+				st := states[jb.win]
+				if !active[jb.win] {
+					return
+				}
+				j := int(jb.idx)
+				s0 := (st.base + int(st.fanin[j][0])) * E
+				s1 := (st.base + int(st.fanin[j][1])) * E
+				dst := (st.base + len(st.win.Inputs) + j) * E
+				m0, m1 := uint64(0), uint64(0)
+				if st.compl[j][0] {
+					m0 = ^uint64(0)
+				}
+				if st.compl[j][1] {
+					m1 = ^uint64(0)
+				}
+				for t := 0; t < E; t++ {
+					simt[dst+t] = (simt[s0+t] ^ m0) & (simt[s1+t] ^ m1)
+				}
+			})
+		}
+		for wi, st := range states {
+			if active[wi] {
+				res.WordsSimulated += int64(st.win.NumSlots()) * int64(E)
+			}
+		}
+
+		// Compare the truth-table segments of every unresolved pair
+		// (lines 12-14).
+		e.Dev.Launch("exhaustive.compare", len(states), func(wi int) {
+			if !active[wi] {
+				return
+			}
+			st := states[wi]
+			for _, pi := range st.win.PairIdx {
+				if !res.Equal[pi] {
+					continue
+				}
+				p := pairs[pi]
+				if mism, t, bit := st.compare(simt, E, p); mism {
+					res.Equal[pi] = false
+					st.alive--
+					res.CEXs[pi] = st.decodeCEX(uint64(r*E+t)*64 + uint64(bit))
+				}
+			}
+		})
+	}
+	return res
+}
+
+// compare scans the E-word segments of the pair's roots and returns the
+// first mismatching word offset and bit, if any. A root id of 0 compares
+// against constant zero.
+func (st *winState) compare(simt []uint64, E int, p Pair) (bool, int, int) {
+	mask := uint64(0)
+	if p.Compl {
+		mask = ^uint64(0)
+	}
+	offB := (st.base + int(st.slotOf[p.B])) * E
+	if p.A == 0 {
+		for t := 0; t < E; t++ {
+			if v := simt[offB+t] ^ mask; v != 0 {
+				return true, t, bits.TrailingZeros64(v)
+			}
+		}
+		return false, 0, 0
+	}
+	offA := (st.base + int(st.slotOf[p.A])) * E
+	for t := 0; t < E; t++ {
+		if v := simt[offA+t] ^ simt[offB+t] ^ mask; v != 0 {
+			return true, t, bits.TrailingZeros64(v)
+		}
+	}
+	return false, 0, 0
+}
+
+// decodeCEX converts a truth-table bit index into an input assignment: bit
+// j of the index is the value of window input j (the projection-table
+// convention).
+func (st *winState) decodeCEX(index uint64) *CEX {
+	k := len(st.win.Inputs)
+	if k < 64 {
+		index &= (uint64(1) << uint(k)) - 1
+	}
+	cex := &CEX{
+		Inputs: append([]int32(nil), st.win.Inputs...),
+		Values: make([]bool, k),
+		Index:  index,
+	}
+	for j := 0; j < k; j++ {
+		cex.Values[j] = (index>>uint(j))&1 == 1
+	}
+	return cex
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"simsweep/internal/aig"
+)
+
+// Guided pattern generation, after the simulation-quality line of work the
+// paper builds on (Lee et al., "A simulation-guided paradigm…"; Amarú et
+// al., "SAT-sweeping enhanced…"): purely random patterns leave rarely
+// toggling nodes stuck at one value, creating spuriously large equivalence
+// classes that the provers must then break one pair at a time. The guided
+// generator finds the most biased nodes under the current bank and
+// justifies their rare value backwards to the primary inputs, emitting
+// patterns that toggle them.
+
+// BiasReport lists nodes whose simulated signature is nearly constant.
+type BiasReport struct {
+	Node      int32
+	Ones      int  // number of 1-bits over the bank
+	Total     int  // patterns simulated
+	RareValue bool // the value the node almost never takes
+}
+
+// FindBiased returns up to limit AND nodes whose one-density is below
+// threshold or above 1−threshold, most biased first.
+func FindBiased(g *aig.AIG, sims [][]uint64, words int, threshold float64, limit int) []BiasReport {
+	total := words * 64
+	lo := int(threshold * float64(total))
+	var out []BiasReport
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		ones := 0
+		for _, w := range sims[id][:words] {
+			ones += bits.OnesCount64(w)
+		}
+		switch {
+		case ones <= lo:
+			out = append(out, BiasReport{Node: int32(id), Ones: ones, Total: total, RareValue: true})
+		case total-ones <= lo:
+			out = append(out, BiasReport{Node: int32(id), Ones: ones, Total: total, RareValue: false})
+		}
+	}
+	// Most biased first; among equally rare nodes prefer the deepest
+	// (largest id): justifying a deep node toggles its whole chain.
+	rare := func(r BiasReport) int {
+		if r.RareValue {
+			return r.Ones
+		}
+		return r.Total - r.Ones
+	}
+	better := func(a, b BiasReport) bool {
+		ra, rb := rare(a), rare(b)
+		if ra != rb {
+			return ra < rb
+		}
+		return a.Node > b.Node
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && better(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Justify attempts to construct a PI assignment driving node id to value,
+// by greedy backward justification (an ATPG-style D-algorithm without
+// backtracking — incomplete but cheap). ok is false when the greedy walk
+// hits a conflict.
+func Justify(g *aig.AIG, id int, value bool, rng *rand.Rand) ([]PIValue, bool) {
+	// required[node] ∈ {unset, false, true}.
+	required := map[int]bool{}
+	var assign []PIValue
+	piIndex := map[int]int{}
+	for i := 0; i < g.NumPIs(); i++ {
+		piIndex[g.PIID(i)] = i
+	}
+
+	type goal struct {
+		id    int
+		value bool
+	}
+	stack := []goal{{id, value}}
+	for len(stack) > 0 {
+		gl := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if prev, seen := required[gl.id]; seen {
+			if prev != gl.value {
+				return nil, false // conflict
+			}
+			continue
+		}
+		required[gl.id] = gl.value
+		if gl.id == 0 {
+			if gl.value {
+				return nil, false // constant false required true
+			}
+			continue
+		}
+		if g.IsPI(gl.id) {
+			assign = append(assign, PIValue{Index: piIndex[gl.id], Value: gl.value})
+			continue
+		}
+		f0, f1 := g.Fanins(gl.id)
+		v0 := !f0.IsCompl() // fanin literal value that makes the AND 1
+		v1 := !f1.IsCompl()
+		if gl.value {
+			// AND = 1: both fanins must be 1 (literal-wise).
+			stack = append(stack, goal{f0.ID(), v0}, goal{f1.ID(), v1})
+			continue
+		}
+		// AND = 0: one fanin 0 suffices; prefer one already required 0,
+		// else choose randomly (greedy, no backtracking).
+		zero0 := goal{f0.ID(), !v0}
+		zero1 := goal{f1.ID(), !v1}
+		if prev, seen := required[zero0.id]; seen && prev == zero0.value {
+			continue // already justified
+		}
+		if prev, seen := required[zero1.id]; seen && prev == zero1.value {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			stack = append(stack, zero0)
+		} else {
+			stack = append(stack, zero1)
+		}
+	}
+	return assign, true
+}
+
+// AddGuidedPatterns finds biased nodes under the current bank, justifies
+// their rare values and injects the resulting patterns. It returns the
+// number of patterns added. Typical use: once after the initial random
+// simulation, before building equivalence classes.
+func (p *Partial) AddGuidedPatterns(g *aig.AIG, sims [][]uint64, maxPatterns int, seed int64) int {
+	if maxPatterns <= 0 {
+		maxPatterns = 64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	biased := FindBiased(g, sims, p.words, 0.02, maxPatterns*2)
+	added := 0
+	for _, b := range biased {
+		if added >= maxPatterns {
+			break
+		}
+		assign, ok := Justify(g, int(b.Node), b.RareValue, rng)
+		if !ok {
+			continue
+		}
+		// Verify the justification actually drives the rare value (the
+		// greedy walk is incomplete, not unsound, but the check is
+		// cheap and filters useless patterns).
+		in := make([]bool, g.NumPIs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		for _, av := range assign {
+			in[av.Index] = av.Value
+		}
+		if nodeValue(g, in, int(b.Node)) != b.RareValue {
+			continue
+		}
+		full := make([]PIValue, g.NumPIs())
+		for i, v := range in {
+			full[i] = PIValue{Index: i, Value: v}
+		}
+		p.AddPattern(full)
+		added++
+	}
+	return added
+}
+
+// nodeValue evaluates a single node under a PI assignment.
+func nodeValue(g *aig.AIG, in []bool, target int) bool {
+	val := make([]bool, g.NumNodes())
+	pi := 0
+	for id := 1; id <= target && id < g.NumNodes(); id++ {
+		if g.IsPI(id) {
+			val[id] = in[pi]
+			pi++
+			continue
+		}
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		val[id] = (val[f0.ID()] != f0.IsCompl()) && (val[f1.ID()] != f1.IsCompl())
+	}
+	return val[target]
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"simsweep/internal/aig"
+)
+
+// wideAnd builds a w-input conjunction — the classic rarely-1 node.
+func wideAnd(w int) (*aig.AIG, aig.Lit) {
+	g := aig.New()
+	acc := aig.True
+	for i := 0; i < w; i++ {
+		acc = g.And(acc, g.AddPI())
+	}
+	g.AddPO(acc)
+	return g, acc
+}
+
+func TestFindBiasedDetectsWideAnd(t *testing.T) {
+	g, top := wideAnd(12)
+	p := NewPartial(dev(), g.NumPIs(), 4, 1)
+	sims := p.Simulate(g)
+	biased := FindBiased(g, sims, p.Words(), 0.02, 16)
+	found := false
+	for _, b := range biased {
+		if int(b.Node) == top.ID() {
+			found = true
+			if !b.RareValue {
+				t.Fatal("wide AND should rarely be 1")
+			}
+			if b.Ones != 0 {
+				t.Logf("wide AND toggled %d times under random patterns", b.Ones)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("wide AND not reported as biased; got %v", biased)
+	}
+}
+
+func TestJustifyDrivesRareValue(t *testing.T) {
+	g, top := wideAnd(16)
+	rng := rand.New(rand.NewSource(2))
+	assign, ok := Justify(g, top.ID(), true, rng)
+	if !ok {
+		t.Fatal("justification failed on a satisfiable goal")
+	}
+	in := make([]bool, g.NumPIs())
+	for _, av := range assign {
+		in[av.Index] = av.Value
+	}
+	if !g.Eval(in)[0] {
+		t.Fatal("justified assignment does not set the node")
+	}
+	// All 16 inputs must be forced to 1.
+	if len(assign) != 16 {
+		t.Fatalf("justification assigned %d PIs, want 16", len(assign))
+	}
+}
+
+func TestJustifyDetectsImpossibleGoal(t *testing.T) {
+	// n = a & !a folds structurally; build a non-folding contradiction:
+	// top = (a&b) & (a&!b) requires b and !b.
+	g := aig.New()
+	a := g.AddPI()
+	b := g.AddPI()
+	top := g.And(g.And(a, b), g.And(a, b.Not()))
+	g.AddPO(top)
+	rng := rand.New(rand.NewSource(3))
+	if _, ok := Justify(g, top.ID(), true, rng); ok {
+		t.Fatal("contradictory goal justified")
+	}
+	// Constant false required true.
+	if _, ok := Justify(g, 0, true, rng); ok {
+		t.Fatal("constant-false node justified to 1")
+	}
+	// And the satisfiable polarity still works.
+	if _, ok := Justify(g, top.ID(), false, rng); !ok {
+		t.Fatal("easily satisfiable goal rejected")
+	}
+}
+
+func TestAddGuidedPatternsTogglesStuckNodes(t *testing.T) {
+	g, top := wideAnd(14)
+	p := NewPartial(dev(), g.NumPIs(), 2, 4)
+	sims := p.Simulate(g)
+	onesBefore := 0
+	for _, w := range sims[top.ID()] {
+		if w != 0 {
+			onesBefore++
+		}
+	}
+	if onesBefore != 0 {
+		t.Skip("random bank already toggled the node")
+	}
+	added := p.AddGuidedPatterns(g, sims, 8, 5)
+	if added == 0 {
+		t.Fatal("no guided patterns added")
+	}
+	sims = p.Simulate(g)
+	ones := 0
+	for _, w := range sims[top.ID()] {
+		ones += popcount(w)
+	}
+	if ones == 0 {
+		t.Fatal("guided patterns failed to toggle the stuck node")
+	}
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}
+
+func TestGuidedPatternsSplitFalseClasses(t *testing.T) {
+	// Two wide ANDs over different input subsets look identical (all
+	// zero) under sparse random patterns; a guided pattern separates
+	// them. This is exactly the false-EC problem the generator targets.
+	g := aig.New()
+	var ins []aig.Lit
+	for i := 0; i < 20; i++ {
+		ins = append(ins, g.AddPI())
+	}
+	and1 := aig.True
+	for _, x := range ins[:10] {
+		and1 = g.And(and1, x)
+	}
+	and2 := aig.True
+	for _, x := range ins[10:] {
+		and2 = g.And(and2, x)
+	}
+	g.AddPO(g.And(and1, and2))
+	p := NewPartial(dev(), 20, 1, 6)
+	sims := p.Simulate(g)
+	s1, s2 := sims[and1.ID()], sims[and2.ID()]
+	if s1[0] != 0 || s2[0] != 0 {
+		t.Skip("random patterns already separated the nodes")
+	}
+	p.AddGuidedPatterns(g, sims, 16, 7)
+	sims = p.Simulate(g)
+	same := true
+	for w := range sims[and1.ID()] {
+		if sims[and1.ID()][w] != sims[and2.ID()][w] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("guided patterns did not separate the two wide ANDs")
+	}
+}

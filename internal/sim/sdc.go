@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/tt"
+)
+
+// SDCs computes the internal satisfiability don't cares at a cut: the
+// assignments to the cut nodes that can never occur for any primary-input
+// assignment (paper §II-A). The result is a truth table over the cut
+// variables (cut node i is variable i, in slice order) whose 1-bits are
+// the impossible patterns. The union of the cut nodes' supports must not
+// exceed maxSupport (the computation exhaustively simulates the global
+// functions of the cut nodes).
+//
+// SDCs are what make local function checking inconclusive: two nodes with
+// different local functions over a cut are still equivalent if every
+// differing pattern is an SDC.
+func SDCs(g *aig.AIG, cut []int32, maxSupport int) (tt.TT, error) {
+	k := len(cut)
+	if k == 0 || k > 16 {
+		return tt.TT{}, fmt.Errorf("sim: SDC cut size %d unsupported (1..16)", k)
+	}
+	roots := make([]int, k)
+	for i, id := range cut {
+		roots[i] = int(id)
+	}
+	support := g.SupportOfMany(roots)
+	if len(support) > maxSupport {
+		return tt.TT{}, fmt.Errorf("sim: cut support %d exceeds limit %d", len(support), maxSupport)
+	}
+
+	// Exhaustively simulate the cut nodes' global functions over the
+	// support and mark every cut pattern that occurs.
+	stop := make(map[int]bool, len(support))
+	tabs := make(map[int32]tt.TT, len(support))
+	v := len(support)
+	for i, id := range support {
+		stop[int(id)] = true
+		tabs[id] = tt.Projection(i, v)
+	}
+	cone := g.ConeNodes(roots, stop)
+	for _, id := range cone {
+		f0, f1 := g.Fanins(int(id))
+		t0, ok0 := tabs[int32(f0.ID())]
+		t1, ok1 := tabs[int32(f1.ID())]
+		if !ok0 || !ok1 {
+			return tt.TT{}, fmt.Errorf("sim: cone of cut escapes the support (node %d)", id)
+		}
+		if f0.IsCompl() {
+			t0 = t0.Not()
+		}
+		if f1.IsCompl() {
+			t1 = t1.Not()
+		}
+		tabs[int32(id)] = t0.And(t1)
+	}
+	cutTabs := make([]tt.TT, k)
+	for i, id := range cut {
+		table, ok := tabs[id]
+		if !ok {
+			if int(id) == 0 {
+				table = tt.New(v) // constant node: always 0
+			} else if g.IsPI(int(id)) {
+				// A PI in the cut that is also in the support.
+				table = tabs[id]
+				if table.Words == nil {
+					return tt.TT{}, fmt.Errorf("sim: cut node %d unreachable", id)
+				}
+			} else {
+				return tt.TT{}, fmt.Errorf("sim: cut node %d unreachable", id)
+			}
+		}
+		cutTabs[i] = table
+	}
+
+	occurs := tt.New(k)
+	n := 1 << uint(v)
+	for pat := 0; pat < n; pat++ {
+		idx := 0
+		for i := range cutTabs {
+			if cutTabs[i].Bit(pat) {
+				idx |= 1 << uint(i)
+			}
+		}
+		occurs.SetBit(idx, true)
+	}
+	return occurs.Not(), nil
+}
+
+// LocalMismatchIsSDC reports whether a local-function mismatch pattern at
+// a cut (as produced by the exhaustive checker on a local window) is a
+// satisfiability don't care — i.e. whether the mismatch is harmless and
+// the pair may still be equivalent.
+func LocalMismatchIsSDC(g *aig.AIG, cex *CEX, maxSupport int) (bool, error) {
+	sdcs, err := SDCs(g, cex.Inputs, maxSupport)
+	if err != nil {
+		return false, err
+	}
+	return sdcs.Bit(int(cex.Index & uint64((1<<uint(len(cex.Inputs)))-1))), nil
+}

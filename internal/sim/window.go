@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"simsweep/internal/aig"
+)
+
+// Spec describes a simulation window before its cone is materialised: the
+// root nodes whose truth tables are wanted, the input nodes of the window,
+// and the indices (into the caller's pair batch) of the candidate pairs the
+// window decides. Window merging operates on Specs.
+type Spec struct {
+	Roots   []int32 // root node ids, deduplicated
+	Inputs  []int32 // sorted input node ids
+	PairIdx []int32 // indices into the batch pair slice
+}
+
+// Window is a materialised simulation window: the Spec plus the cone of AND
+// nodes between the inputs and the roots, in topological (ascending-id)
+// order. Per the paper, a window contains the intersection of the TFIs of
+// the roots with the TFOs of the inputs, plus the roots themselves.
+type Window struct {
+	Spec
+	Nodes []int32
+}
+
+// NumSlots returns the number of simulation-table entries the window needs.
+func (w *Window) NumSlots() int { return len(w.Inputs) + len(w.Nodes) }
+
+// TTWords returns the full truth-table length of the window in 64-bit
+// words: max(1, 2^(k−6)) for k inputs.
+func (w *Window) TTWords() int {
+	k := len(w.Inputs)
+	if k <= 6 {
+		return 1
+	}
+	return 1 << uint(k-6)
+}
+
+// BuildWindow materialises the cone of spec's roots stopped at its inputs.
+// It fails if the cone escapes the inputs (some path from a root reaches a
+// PI or the constant that is not an input), which means the inputs were not
+// a cut of the roots.
+func BuildWindow(g *aig.AIG, spec Spec) (*Window, error) {
+	stop := make(map[int]bool, len(spec.Inputs))
+	for _, id := range spec.Inputs {
+		stop[int(id)] = true
+	}
+	seen := make(map[int]bool)
+	var nodes []int32
+	var stack []int
+	for _, r := range spec.Roots {
+		id := int(r)
+		if !seen[id] && !stop[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id == 0 {
+			continue // constant root, handled specially by the checker
+		}
+		if g.IsPI(id) {
+			return nil, fmt.Errorf("sim: window inputs do not cut PI %d from the roots", id)
+		}
+		nodes = append(nodes, int32(id))
+		f0, f1 := g.Fanins(id)
+		for _, f := range [2]aig.Lit{f0, f1} {
+			fid := f.ID()
+			if !seen[fid] && !stop[fid] {
+				seen[fid] = true
+				stack = append(stack, fid)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return &Window{Spec: spec, Nodes: nodes}, nil
+}
+
+// MergeSpecs performs window merging (paper §III-B3): the specs are sorted
+// in lexicographic order of their input vectors, then consecutive specs are
+// merged greedily while the merged input set stays within ks inputs. The
+// returned specs carry the unions of roots and pair indices.
+func MergeSpecs(specs []Spec, ks int) []Spec {
+	if len(specs) <= 1 {
+		return specs
+	}
+	sorted := make([]Spec, len(specs))
+	copy(sorted, specs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return lexLess(sorted[i].Inputs, sorted[j].Inputs)
+	})
+	var out []Spec
+	cur := cloneSpec(sorted[0])
+	for _, s := range sorted[1:] {
+		u := unionSorted(cur.Inputs, s.Inputs)
+		if len(u) <= ks {
+			cur.Inputs = u
+			cur.Roots = unionSorted(cur.Roots, s.Roots)
+			cur.PairIdx = append(cur.PairIdx, s.PairIdx...)
+			continue
+		}
+		out = append(out, cur)
+		cur = cloneSpec(s)
+	}
+	return append(out, cur)
+}
+
+func cloneSpec(s Spec) Spec {
+	return Spec{
+		Roots:   append([]int32(nil), s.Roots...),
+		Inputs:  append([]int32(nil), s.Inputs...),
+		PairIdx: append([]int32(nil), s.PairIdx...),
+	}
+}
+
+func lexLess(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func unionSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

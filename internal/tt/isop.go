@@ -1,0 +1,106 @@
+package tt
+
+// Cube is one product term of a sum-of-products cover. For each variable i,
+// bit i of Mask selects whether the variable appears in the cube, and bit i
+// of Polarity gives its phase (1 = positive literal). Variables outside Mask
+// are absent.
+type Cube struct {
+	Mask     uint32
+	Polarity uint32
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int {
+	n := 0
+	for m := c.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Contains reports whether the cube evaluates to 1 under the assignment
+// given by the low bits of input.
+func (c Cube) Contains(input uint32) bool {
+	return input&c.Mask == c.Polarity&c.Mask
+}
+
+// ISOP computes an irredundant sum-of-products cover of the incompletely
+// specified function with on-set on and care-set on∪dc, using the
+// Minato-Morreale procedure. The returned cover f satisfies
+// on ≤ f ≤ on ∨ dc. Both tables must have the same variable count.
+func ISOP(on, dc TT) []Cube {
+	on.checkSame(dc)
+	cover, _ := isopRec(on, on.Or(dc), on.NumVars)
+	return cover
+}
+
+// isopRec returns a cover and its truth table for lower ≤ f ≤ upper,
+// considering only the first v variables (the rest are constants over the
+// subtables passed down via cofactoring).
+func isopRec(lower, upper TT, v int) ([]Cube, TT) {
+	if lower.IsConst0() {
+		return nil, New(lower.NumVars)
+	}
+	if upper.IsConst1() {
+		return []Cube{{}}, NewConst(lower.NumVars, true)
+	}
+	// Find the top variable both tables depend on.
+	x := -1
+	for i := v - 1; i >= 0; i-- {
+		if lower.DependsOn(i) || upper.DependsOn(i) {
+			x = i
+			break
+		}
+	}
+	if x < 0 {
+		// lower is a non-zero constant function of no variables, but
+		// upper is not constant 1 — impossible when lower ≤ upper.
+		panic("tt: isop invariant violated")
+	}
+	l0 := lower.Cofactor(x, false)
+	l1 := lower.Cofactor(x, true)
+	u0 := upper.Cofactor(x, false)
+	u1 := upper.Cofactor(x, true)
+
+	// Cubes that must contain literal ¬x: needed where l0 holds but u1
+	// does not allow coverage from the positive side.
+	c0, f0 := isopRec(l0.AndNot(u1), u0, x)
+	// Cubes that must contain literal x.
+	c1, f1 := isopRec(l1.AndNot(u0), u1, x)
+	// Remainder, covered without literal x.
+	lr0 := l0.AndNot(f0)
+	lr1 := l1.AndNot(f1)
+	cr, fr := isopRec(lr0.Or(lr1), u0.And(u1), x)
+
+	xb := uint32(1) << uint(x)
+	cover := make([]Cube, 0, len(c0)+len(c1)+len(cr))
+	for _, c := range c0 {
+		c.Mask |= xb // negative literal: polarity bit stays 0
+		cover = append(cover, c)
+	}
+	for _, c := range c1 {
+		c.Mask |= xb
+		c.Polarity |= xb
+		cover = append(cover, c)
+	}
+	cover = append(cover, cr...)
+
+	proj := Projection(x, lower.NumVars)
+	f := f0.AndNot(proj).Or(f1.And(proj)).Or(fr)
+	return cover, f
+}
+
+// CoverTT returns the truth table of a cover over v variables.
+func CoverTT(cover []Cube, v int) TT {
+	out := New(v)
+	n := 1 << uint(v)
+	for i := 0; i < n; i++ {
+		for _, c := range cover {
+			if c.Contains(uint32(i)) {
+				out.SetBit(i, true)
+				break
+			}
+		}
+	}
+	return out
+}

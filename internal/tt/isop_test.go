@@ -1,0 +1,118 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomTT(rng *rand.Rand, v int) TT {
+	tab := New(v)
+	n := 1 << uint(v)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			tab.SetBit(i, true)
+		}
+	}
+	return tab
+}
+
+func TestISOPCompletelySpecified(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, v := range []int{1, 2, 3, 4, 5, 6, 7} {
+		for trial := 0; trial < 20; trial++ {
+			on := randomTT(rng, v)
+			cover := ISOP(on, New(v))
+			if got := CoverTT(cover, v); !got.Equal(on) {
+				t.Fatalf("v=%d trial=%d: ISOP cover computes %s, want %s", v, trial, got, on)
+			}
+		}
+	}
+}
+
+func TestISOPWithDontCares(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, v := range []int{2, 3, 4, 5, 6} {
+		for trial := 0; trial < 20; trial++ {
+			on := randomTT(rng, v)
+			dc := randomTT(rng, v).AndNot(on) // disjoint don't-care set
+			cover := ISOP(on, dc)
+			f := CoverTT(cover, v)
+			// on ≤ f ≤ on ∨ dc
+			if !on.AndNot(f).IsConst0() {
+				t.Fatalf("v=%d: cover misses on-set minterms", v)
+			}
+			if !f.AndNot(on.Or(dc)).IsConst0() {
+				t.Fatalf("v=%d: cover exceeds care set", v)
+			}
+		}
+	}
+}
+
+func TestISOPConstants(t *testing.T) {
+	if c := ISOP(New(4), New(4)); len(c) != 0 {
+		t.Errorf("ISOP of const0 has %d cubes, want 0", len(c))
+	}
+	c := ISOP(NewConst(4, true), New(4))
+	if len(c) != 1 || c[0].Mask != 0 {
+		t.Errorf("ISOP of const1 = %v, want single empty cube", c)
+	}
+}
+
+func TestISOPSingleLiteralFunctions(t *testing.T) {
+	for v := 1; v <= 5; v++ {
+		for x := 0; x < v; x++ {
+			c := ISOP(Projection(x, v), New(v))
+			if len(c) != 1 || c[0].NumLits() != 1 {
+				t.Fatalf("ISOP(x%d over %d vars) = %v, want one 1-literal cube", x, v, c)
+			}
+			cn := ISOP(Projection(x, v).Not(), New(v))
+			if len(cn) != 1 || cn[0].NumLits() != 1 || cn[0].Polarity&cn[0].Mask != 0 {
+				t.Fatalf("ISOP(!x%d) = %v, want one negative literal cube", x, cn)
+			}
+		}
+	}
+}
+
+func TestISOPDontCareReducesCubes(t *testing.T) {
+	// on = minterm 0b01, dc = everything else with x0=1: cover should
+	// collapse to the single literal x0.
+	v := 2
+	on := New(v)
+	on.SetBit(1, true) // x0=1, x1=0
+	dc := New(v)
+	dc.SetBit(3, true) // x0=1, x1=1
+	cover := ISOP(on, dc)
+	if len(cover) != 1 || cover[0].NumLits() != 1 {
+		t.Fatalf("cover %v does not exploit don't cares", cover)
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	c := Cube{Mask: 0b101, Polarity: 0b001} // x0 & !x2
+	cases := map[uint32]bool{0b000: false, 0b001: true, 0b011: true, 0b101: false, 0b111: false}
+	for in, want := range cases {
+		if c.Contains(in) != want {
+			t.Errorf("Contains(%03b) = %v, want %v", in, !want, want)
+		}
+	}
+}
+
+func TestQuickISOP(t *testing.T) {
+	f := func(onBits uint16, dcBits uint16) bool {
+		v := 4
+		on, dc := New(v), New(v)
+		for i := 0; i < 16; i++ {
+			on.SetBit(i, onBits&(1<<uint(i)) != 0)
+		}
+		for i := 0; i < 16; i++ {
+			dc.SetBit(i, dcBits&(1<<uint(i)) != 0 && !on.Bit(i))
+		}
+		cover := ISOP(on, dc)
+		got := CoverTT(cover, v)
+		return on.AndNot(got).IsConst0() && got.AndNot(on.Or(dc)).IsConst0()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package tt
+
+import "fmt"
+
+// NPN canonisation: two functions are NPN-equivalent when one can be
+// obtained from the other by Negating inputs, Permuting inputs and/or
+// Negating the output. Rewriting engines and matching libraries index
+// structures by NPN class; this implementation canonises exhaustively and
+// is intended for k ≤ 6 (a single truth-table word).
+
+// NPNTransform describes one NPN transform: output g = Apply(f) is
+// defined by g(x_0,…,x_{k−1}) = f(y_0,…,y_{k−1}) ⊕ OutputNeg where
+// y_{Perm[i]} = x_i ⊕ bit_i(InputNeg).
+type NPNTransform struct {
+	Perm      []int
+	InputNeg  uint32
+	OutputNeg bool
+}
+
+// Apply applies the transform to f.
+func (tr NPNTransform) Apply(f TT) TT {
+	k := f.NumVars
+	if len(tr.Perm) != k {
+		panic(fmt.Sprintf("tt: NPN transform arity %d on %d-var function", len(tr.Perm), k))
+	}
+	out := New(k)
+	n := 1 << uint(k)
+	for x := 0; x < n; x++ {
+		y := 0
+		for i := 0; i < k; i++ {
+			bit := (x>>uint(i))&1 == 1
+			if (tr.InputNeg>>uint(i))&1 == 1 {
+				bit = !bit
+			}
+			if bit {
+				y |= 1 << uint(tr.Perm[i])
+			}
+		}
+		v := f.Bit(y)
+		if tr.OutputNeg {
+			v = !v
+		}
+		if v {
+			out.SetBit(x, true)
+		}
+	}
+	return out
+}
+
+// Inverse returns the transform undoing tr: Inverse(tr).Apply(tr.Apply(f))
+// equals f.
+func (tr NPNTransform) Inverse() NPNTransform {
+	k := len(tr.Perm)
+	inv := NPNTransform{Perm: make([]int, k), OutputNeg: tr.OutputNeg}
+	for i, p := range tr.Perm {
+		inv.Perm[p] = i
+		if (tr.InputNeg>>uint(i))&1 == 1 {
+			inv.InputNeg |= 1 << uint(p)
+		}
+	}
+	return inv
+}
+
+// NPNCanon returns the canonical representative of f's NPN class — the
+// lexicographically smallest truth table over all transforms — together
+// with the transform tr such that tr.Apply(f) is the representative.
+// Supported for NumVars ≤ 6; complexity k!·2^(k+1) table rewrites.
+func NPNCanon(f TT) (TT, NPNTransform) {
+	k := f.NumVars
+	if k > 6 {
+		panic("tt: NPNCanon supports at most 6 variables")
+	}
+	best := f.Clone()
+	bestTr := NPNTransform{Perm: identityPerm(k)}
+	first := true
+	forEachPerm(k, func(perm []int) {
+		for neg := uint32(0); neg < 1<<uint(k); neg++ {
+			for _, outNeg := range [2]bool{false, true} {
+				tr := NPNTransform{Perm: perm, InputNeg: neg, OutputNeg: outNeg}
+				cand := tr.Apply(f)
+				if first || lessTT(cand, best) {
+					first = false
+					best = cand
+					bestTr = NPNTransform{
+						Perm:      append([]int(nil), perm...),
+						InputNeg:  neg,
+						OutputNeg: outNeg,
+					}
+				}
+			}
+		}
+	})
+	return best, bestTr
+}
+
+// NPNEquivalent reports whether f and g are in the same NPN class.
+func NPNEquivalent(f, g TT) bool {
+	if f.NumVars != g.NumVars {
+		return false
+	}
+	cf, _ := NPNCanon(f)
+	cg, _ := NPNCanon(g)
+	return cf.Equal(cg)
+}
+
+// NPNClassCount enumerates all 2^(2^k) functions of k variables (k ≤ 4 is
+// practical) and returns the number of distinct NPN classes — a classical
+// sequence (1,2,4,14,222 for k = 0..4) used to validate canonisers.
+func NPNClassCount(k int) int {
+	if k > 4 {
+		panic("tt: NPNClassCount supports at most 4 variables")
+	}
+	n := 1 << uint(k)
+	classes := map[uint64]bool{}
+	for fn := 0; fn < 1<<uint(n); fn++ {
+		f := New(k)
+		for i := 0; i < n; i++ {
+			if (fn>>uint(i))&1 == 1 {
+				f.SetBit(i, true)
+			}
+		}
+		canon, _ := NPNCanon(f)
+		classes[canon.Words[0]] = true
+	}
+	return len(classes)
+}
+
+func identityPerm(k int) []int {
+	p := make([]int, k)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// forEachPerm visits every permutation of 0..k−1 (Heap's algorithm).
+func forEachPerm(k int, visit func([]int)) {
+	perm := identityPerm(k)
+	var heap func(n int)
+	heap = func(n int) {
+		if n == 1 {
+			visit(perm)
+			return
+		}
+		for i := 0; i < n; i++ {
+			heap(n - 1)
+			if n%2 == 0 {
+				perm[i], perm[n-1] = perm[n-1], perm[i]
+			} else {
+				perm[0], perm[n-1] = perm[n-1], perm[0]
+			}
+		}
+	}
+	if k == 0 {
+		visit(perm)
+		return
+	}
+	heap(k)
+}
+
+// lessTT compares canonical truth tables lexicographically (low words
+// first, low bits first).
+func lessTT(a, b TT) bool {
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			return a.Words[i] < b.Words[i]
+		}
+	}
+	return false
+}

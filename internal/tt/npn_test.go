@@ -1,0 +1,118 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomTransform(rng *rand.Rand, k int) NPNTransform {
+	perm := identityPerm(k)
+	rng.Shuffle(k, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return NPNTransform{
+		Perm:      perm,
+		InputNeg:  uint32(rng.Intn(1 << uint(k))),
+		OutputNeg: rng.Intn(2) == 1,
+	}
+}
+
+func TestNPNCanonInvariantUnderTransforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{1, 2, 3, 4} {
+		for trial := 0; trial < 20; trial++ {
+			f := randomTT(rng, k)
+			canonF, _ := NPNCanon(f)
+			g := randomTransform(rng, k).Apply(f)
+			canonG, _ := NPNCanon(g)
+			if !canonF.Equal(canonG) {
+				t.Fatalf("k=%d: NPN canon differs for equivalent functions:\n f=%s canon %s\n g=%s canon %s",
+					k, f, canonF, g, canonG)
+			}
+		}
+	}
+}
+
+func TestNPNCanonTransformAchievesCanon(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		for trial := 0; trial < 10; trial++ {
+			f := randomTT(rng, k)
+			canon, tr := NPNCanon(f)
+			if !tr.Apply(f).Equal(canon) {
+				t.Fatalf("k=%d: returned transform does not produce the canon", k)
+			}
+		}
+	}
+}
+
+func TestNPNTransformInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{1, 3, 5} {
+		for trial := 0; trial < 20; trial++ {
+			f := randomTT(rng, k)
+			tr := randomTransform(rng, k)
+			back := tr.Inverse().Apply(tr.Apply(f))
+			if !back.Equal(f) {
+				t.Fatalf("k=%d: inverse round trip failed", k)
+			}
+		}
+	}
+}
+
+func TestNPNClassCounts(t *testing.T) {
+	// The classical counts of NPN classes: 1, 2, 4, 14, 222.
+	want := []int{1, 2, 4, 14, 222}
+	for k, w := range want {
+		if k > 4 {
+			break
+		}
+		if got := NPNClassCount(k); got != w {
+			t.Fatalf("NPN classes over %d vars = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestNPNEquivalentExamples(t *testing.T) {
+	// AND and NOR are NPN equivalent (negate inputs and output of AND:
+	// !( !a & !b ) = a|b; negate output again... check via function).
+	and := Projection(0, 2).And(Projection(1, 2))
+	or := Projection(0, 2).Or(Projection(1, 2))
+	nor := or.Not()
+	xor := Projection(0, 2).Xor(Projection(1, 2))
+	if !NPNEquivalent(and, nor) {
+		t.Fatal("AND !~ NOR")
+	}
+	if !NPNEquivalent(and, or) {
+		t.Fatal("AND !~ OR")
+	}
+	if NPNEquivalent(and, xor) {
+		t.Fatal("AND ~ XOR")
+	}
+	if NPNEquivalent(and, Projection(0, 3).And(Projection(1, 3))) {
+		t.Fatal("different arities equivalent")
+	}
+}
+
+func TestQuickNPNApplyPreservesOnesCountModNegation(t *testing.T) {
+	// Input permutation/negation preserves the satisfying-assignment
+	// count; output negation complements it.
+	f := func(bits uint16, negOut bool, seed int64) bool {
+		k := 4
+		tab := New(k)
+		for i := 0; i < 16; i++ {
+			tab.SetBit(i, bits&(1<<uint(i)) != 0)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTransform(rng, k)
+		tr.OutputNeg = negOut
+		got := tr.Apply(tab).CountOnes()
+		want := tab.CountOnes()
+		if negOut {
+			want = 16 - want
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

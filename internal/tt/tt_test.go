@@ -1,0 +1,205 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProjectionSmall(t *testing.T) {
+	// Paper example: for k = 3, projections of x0, x1, x2 are
+	// 10101010, 11001100, 11110000.
+	want := []string{"10101010", "11001100", "11110000"}
+	for i, w := range want {
+		if got := Projection(i, 3).String(); got != w {
+			t.Errorf("projection %d over 3 vars = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestProjectionWordLargeVars(t *testing.T) {
+	// Variable 7 over many words: word w is all-ones iff bit 1 of w set.
+	for w := 0; w < 8; w++ {
+		got := ProjectionWord(7, w)
+		want := uint64(0)
+		if (w>>1)&1 == 1 {
+			want = ^uint64(0)
+		}
+		if got != want {
+			t.Errorf("ProjectionWord(7,%d) = %x, want %x", w, got, want)
+		}
+	}
+}
+
+func TestFromBitsRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "1", "01", "0010", "00100010", "0110100110010110"} {
+		tab, err := FromBits(s)
+		if err != nil {
+			t.Fatalf("FromBits(%s): %v", s, err)
+		}
+		if got := tab.String(); got != s {
+			t.Errorf("round trip of %s gave %s", s, got)
+		}
+	}
+	if _, err := FromBits("011"); err == nil {
+		t.Error("FromBits accepted non-power-of-two length")
+	}
+	if _, err := FromBits("0x10"); err == nil {
+		t.Error("FromBits accepted invalid character")
+	}
+}
+
+func TestPaperExampleVariableOrder(t *testing.T) {
+	// xy' with order (x,y) = vars (x=0,y=1): truth table 0010.
+	x := Projection(0, 2)
+	y := Projection(1, 2)
+	if got := x.And(y.Not()).String(); got != "0010" {
+		t.Errorf("xy' = %s, want 0010", got)
+	}
+	// xy' + xy'z over (x,y,z): 00100010 (paper §III-B1).
+	x3, y3, z3 := Projection(0, 3), Projection(1, 3), Projection(2, 3)
+	xyn := x3.And(y3.Not())
+	f := xyn.Or(xyn.And(z3))
+	if got := f.String(); got != "00100010" {
+		t.Errorf("xy'+xy'z = %s, want 00100010", got)
+	}
+	// Same function with order (y,x,z): 01000100.
+	yx, xx := Projection(0, 3), Projection(1, 3) // y is var 0, x is var 1
+	xyn2 := xx.And(yx.Not())
+	f2 := xyn2.Or(xyn2.And(z3))
+	if got := f2.String(); got != "01000100" {
+		t.Errorf("xy'+xy'z under (y,x,z) = %s, want 01000100", got)
+	}
+}
+
+func TestAlgebraLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randTT := func(v int) TT {
+		tab := New(v)
+		n := 1 << uint(v)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				tab.SetBit(i, true)
+			}
+		}
+		return tab
+	}
+	for _, v := range []int{1, 3, 5, 6, 8} {
+		a, b, c := randTT(v), randTT(v), randTT(v)
+		if !a.And(b).Equal(b.And(a)) {
+			t.Fatalf("v=%d: AND not commutative", v)
+		}
+		if !a.Or(b.Or(c)).Equal(a.Or(b).Or(c)) {
+			t.Fatalf("v=%d: OR not associative", v)
+		}
+		if !a.And(b.Or(c)).Equal(a.And(b).Or(a.And(c))) {
+			t.Fatalf("v=%d: AND does not distribute over OR", v)
+		}
+		if !a.Not().Not().Equal(a) {
+			t.Fatalf("v=%d: double negation", v)
+		}
+		if !a.And(b).Not().Equal(a.Not().Or(b.Not())) {
+			t.Fatalf("v=%d: De Morgan", v)
+		}
+		if !a.Xor(a).IsConst0() {
+			t.Fatalf("v=%d: a xor a != 0", v)
+		}
+		if !a.Xor(a.Not()).IsConst1() {
+			t.Fatalf("v=%d: a xor !a != 1", v)
+		}
+		if !a.AndNot(b).Equal(a.And(b.Not())) {
+			t.Fatalf("v=%d: AndNot mismatch", v)
+		}
+	}
+}
+
+func TestCofactorShannon(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, v := range []int{2, 4, 6, 7, 8} {
+		tab := New(v)
+		n := 1 << uint(v)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				tab.SetBit(i, true)
+			}
+		}
+		for x := 0; x < v; x++ {
+			p := Projection(x, v)
+			sh := p.And(tab.Cofactor(x, true)).Or(p.Not().And(tab.Cofactor(x, false)))
+			if !sh.Equal(tab) {
+				t.Fatalf("v=%d x=%d: Shannon expansion mismatch", v, x)
+			}
+			if tab.Cofactor(x, true).DependsOn(x) {
+				t.Fatalf("v=%d x=%d: positive cofactor still depends on x", v, x)
+			}
+		}
+	}
+}
+
+func TestDependsOnAndSupport(t *testing.T) {
+	// f = x0 AND x2 over 4 vars.
+	f := Projection(0, 4).And(Projection(2, 4))
+	wantDep := []bool{true, false, true, false}
+	for i, w := range wantDep {
+		if f.DependsOn(i) != w {
+			t.Errorf("DependsOn(%d) = %v, want %v", i, !w, w)
+		}
+	}
+	if f.SupportSize() != 2 {
+		t.Errorf("SupportSize = %d, want 2", f.SupportSize())
+	}
+}
+
+func TestCountOnes(t *testing.T) {
+	if got := Projection(0, 3).CountOnes(); got != 4 {
+		t.Errorf("projection over 3 vars has %d ones, want 4", got)
+	}
+	if got := NewConst(2, true).CountOnes(); got != 4 {
+		t.Errorf("const1 over 2 vars has %d ones, want 4", got)
+	}
+	if got := New(8).CountOnes(); got != 0 {
+		t.Errorf("const0 over 8 vars has %d ones, want 0", got)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	// f(x0, x1) = x0 & !x1 expanded into a 4-variable space where old
+	// x0 -> new 3, old x1 -> new 1.
+	f := Projection(0, 2).And(Projection(1, 2).Not())
+	e := f.Expand([]int{3, 1}, 4)
+	want := Projection(3, 4).And(Projection(1, 4).Not())
+	if !e.Equal(want) {
+		t.Fatalf("Expand produced %s, want %s", e, want)
+	}
+}
+
+func TestEvalMatchesBit(t *testing.T) {
+	f := Projection(1, 3).Xor(Projection(2, 3))
+	for i := 0; i < 8; i++ {
+		if f.Eval(uint32(i)) != f.Bit(i) {
+			t.Fatalf("Eval(%d) != Bit(%d)", i, i)
+		}
+	}
+}
+
+func TestQuickCanonicalReplication(t *testing.T) {
+	// Property: for v<6 tables, operations keep the replicated canonical
+	// form, so Equal is a plain word comparison.
+	f := func(bitsA, bitsB uint8) bool {
+		a, b := New(3), New(3)
+		for i := 0; i < 8; i++ {
+			a.SetBit(i, bitsA&(1<<uint(i)) != 0)
+			b.SetBit(i, bitsB&(1<<uint(i)) != 0)
+		}
+		c := a.And(b).Or(a.Xor(b)).Not()
+		// Reconstruct from canonical bits and compare words directly.
+		d := New(3)
+		for i := 0; i < 8; i++ {
+			d.SetBit(i, c.Bit(i))
+		}
+		return c.Words[0] == d.Words[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

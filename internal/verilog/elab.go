@@ -1,0 +1,576 @@
+package verilog
+
+import (
+	"fmt"
+	"sort"
+
+	"simsweep/internal/aig"
+)
+
+// Design is a parsed Verilog design ready for elaboration.
+type Design struct {
+	d *design
+}
+
+// Modules lists the module names in declaration order.
+func (d *Design) Modules() []string { return append([]string(nil), d.d.order...) }
+
+// Top returns the default top module: the one no other module
+// instantiates, or the last declared if all are instantiated.
+func (d *Design) Top() string {
+	instantiated := map[string]bool{}
+	for _, m := range d.d.modules {
+		for _, it := range m.items {
+			if inst, ok := it.(instItem); ok {
+				instantiated[inst.module] = true
+			}
+		}
+	}
+	for i := len(d.d.order) - 1; i >= 0; i-- {
+		if !instantiated[d.d.order[i]] {
+			return d.d.order[i]
+		}
+	}
+	return d.d.order[len(d.d.order)-1]
+}
+
+// Elaborate flattens the named top module (or Top() when top is empty)
+// into an AIG. PIs appear in input declaration order, bit 0 first; POs in
+// output declaration order.
+func (d *Design) Elaborate(top string) (*aig.AIG, error) {
+	if top == "" {
+		top = d.Top()
+	}
+	m, ok := d.d.modules[top]
+	if !ok {
+		return nil, fmt.Errorf("verilog: module %q not found", top)
+	}
+	g := aig.New()
+	g.Name = top
+
+	inputs := map[string][]aig.Lit{}
+	for _, in := range m.inputs {
+		lits := make([]aig.Lit, in.width())
+		for i := range lits {
+			lits[i] = g.AddPINamed(bitName(in, i))
+		}
+		inputs[in.name] = lits
+	}
+	e := &elaborator{design: d.d, g: g}
+	outs, err := e.instantiate(m, inputs, map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range m.outputs {
+		lits := outs[out.name]
+		for i, l := range lits {
+			g.AddPONamed(l, bitName(out, i))
+		}
+	}
+	return g, nil
+}
+
+func bitName(d decl, i int) string {
+	if d.msb < 0 {
+		return d.name
+	}
+	return fmt.Sprintf("%s[%d]", d.name, d.lsb+i)
+}
+
+type elaborator struct {
+	design *design
+	g      *aig.AIG
+}
+
+// netState tracks one module instance's nets during elaboration.
+type netState struct {
+	mod   *module
+	decls map[string]decl
+	// bits[name][i] is the literal of bit i (lsb-based); ok[name][i]
+	// marks bits already driven.
+	bits map[string][]aig.Lit
+	ok   map[string][]bool
+}
+
+func newNetState(m *module) (*netState, error) {
+	ns := &netState{
+		mod:   m,
+		decls: map[string]decl{},
+		bits:  map[string][]aig.Lit{},
+		ok:    map[string][]bool{},
+	}
+	add := func(d decl) error {
+		if prev, dup := ns.decls[d.name]; dup && prev.width() != d.width() {
+			return fmt.Errorf("verilog: %s: conflicting declarations of %q", m.name, d.name)
+		}
+		ns.decls[d.name] = d
+		if _, exists := ns.bits[d.name]; !exists {
+			ns.bits[d.name] = make([]aig.Lit, d.width())
+			ns.ok[d.name] = make([]bool, d.width())
+		}
+		return nil
+	}
+	for _, d := range m.inputs {
+		if err := add(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range m.outputs {
+		if err := add(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range m.wires {
+		if err := add(d); err != nil {
+			return nil, err
+		}
+	}
+	return ns, nil
+}
+
+// setBit drives one bit of a net.
+func (ns *netState) setBit(name string, idx int, l aig.Lit) error {
+	d, ok := ns.decls[name]
+	if !ok {
+		// Implicitly declared scalar wire (legal Verilog).
+		d = decl{name: name, msb: -1, lsb: -1}
+		ns.decls[name] = d
+		ns.bits[name] = make([]aig.Lit, 1)
+		ns.ok[name] = make([]bool, 1)
+	}
+	off := idx - max(d.lsb, 0)
+	if off < 0 || off >= d.width() {
+		return fmt.Errorf("verilog: %s: bit %s[%d] out of range", ns.mod.name, name, idx)
+	}
+	if ns.ok[name][off] {
+		return fmt.Errorf("verilog: %s: net %s[%d] driven twice", ns.mod.name, name, idx)
+	}
+	ns.bits[name][off] = l
+	ns.ok[name][off] = true
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ready reports whether every bit an expression reads is driven.
+func (ns *netState) ready(e expr) bool {
+	switch x := e.(type) {
+	case identExpr:
+		oks, exists := ns.ok[x.name]
+		if !exists {
+			return false
+		}
+		for _, v := range oks {
+			if !v {
+				return false
+			}
+		}
+		return true
+	case bitExpr:
+		d, exists := ns.decls[x.name]
+		if !exists {
+			return false
+		}
+		off := x.index - max(d.lsb, 0)
+		return off >= 0 && off < d.width() && ns.ok[x.name][off]
+	case constExpr:
+		return true
+	case unaryExpr:
+		return ns.ready(x.x)
+	case binExpr:
+		return ns.ready(x.l) && ns.ready(x.r)
+	case condExpr:
+		return ns.ready(x.cond) && ns.ready(x.then) && ns.ready(x.els)
+	case concatExpr:
+		for _, p := range x.parts {
+			if !ns.ready(p) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// evalBits evaluates an expression to a bit vector (lsb first).
+func (ns *netState) evalBits(g *aig.AIG, e expr) ([]aig.Lit, error) {
+	switch x := e.(type) {
+	case identExpr:
+		bits, exists := ns.bits[x.name]
+		if !exists {
+			return nil, fmt.Errorf("verilog: %s: undriven net %q", ns.mod.name, x.name)
+		}
+		return bits, nil
+	case bitExpr:
+		d := ns.decls[x.name]
+		off := x.index - max(d.lsb, 0)
+		return []aig.Lit{ns.bits[x.name][off]}, nil
+	case constExpr:
+		lits := make([]aig.Lit, len(x.bits))
+		for i, b := range x.bits {
+			lits[i] = aig.False.NotIf(b)
+		}
+		return lits, nil
+	case unaryExpr:
+		in, err := ns.evalBits(g, x.x)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]aig.Lit, len(in))
+		for i, l := range in {
+			out[i] = l.Not()
+		}
+		return out, nil
+	case binExpr:
+		l, err := ns.evalBits(g, x.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ns.evalBits(g, x.r)
+		if err != nil {
+			return nil, err
+		}
+		n := len(l)
+		if len(r) > n {
+			n = len(r)
+		}
+		out := make([]aig.Lit, n)
+		for i := range out {
+			li, ri := aig.False, aig.False
+			if i < len(l) {
+				li = l[i]
+			}
+			if i < len(r) {
+				ri = r[i]
+			}
+			switch x.op {
+			case "&":
+				out[i] = g.And(li, ri)
+			case "|":
+				out[i] = g.Or(li, ri)
+			default:
+				out[i] = g.Xor(li, ri)
+			}
+		}
+		return out, nil
+	case condExpr:
+		c, err := ns.evalBits(g, x.cond)
+		if err != nil {
+			return nil, err
+		}
+		t, err := ns.evalBits(g, x.then)
+		if err != nil {
+			return nil, err
+		}
+		el, err := ns.evalBits(g, x.els)
+		if err != nil {
+			return nil, err
+		}
+		n := len(t)
+		if len(el) > n {
+			n = len(el)
+		}
+		out := make([]aig.Lit, n)
+		for i := range out {
+			ti, ei := aig.False, aig.False
+			if i < len(t) {
+				ti = t[i]
+			}
+			if i < len(el) {
+				ei = el[i]
+			}
+			out[i] = g.Mux(c[0], ti, ei)
+		}
+		return out, nil
+	case concatExpr:
+		// Verilog concatenation lists MSB first.
+		var out []aig.Lit
+		for i := len(x.parts) - 1; i >= 0; i-- {
+			bits, err := ns.evalBits(g, x.parts[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bits...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("verilog: unsupported expression %v", e)
+}
+
+// targets enumerates the (net, bit) pairs an lhs expression drives.
+func (ns *netState) targets(e expr) ([]string, []int, error) {
+	switch x := e.(type) {
+	case identExpr:
+		d, exists := ns.decls[x.name]
+		if !exists {
+			d = decl{name: x.name, msb: -1, lsb: -1}
+		}
+		names := make([]string, d.width())
+		idxs := make([]int, d.width())
+		for i := 0; i < d.width(); i++ {
+			names[i] = x.name
+			idxs[i] = max(d.lsb, 0) + i
+		}
+		return names, idxs, nil
+	case bitExpr:
+		return []string{x.name}, []int{x.index}, nil
+	case concatExpr:
+		var names []string
+		var idxs []int
+		for i := len(x.parts) - 1; i >= 0; i-- {
+			n, ix, err := ns.targets(x.parts[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			names = append(names, n...)
+			idxs = append(idxs, ix...)
+		}
+		return names, idxs, nil
+	}
+	return nil, nil, fmt.Errorf("verilog: %s: unsupported assignment target %v", ns.mod.name, e)
+}
+
+// instantiate elaborates module m with the given input bindings, returning
+// its output nets. active guards against recursive instantiation.
+func (e *elaborator) instantiate(m *module, inputs map[string][]aig.Lit, active map[string]bool) (map[string][]aig.Lit, error) {
+	if active[m.name] {
+		return nil, fmt.Errorf("verilog: recursive instantiation of module %q", m.name)
+	}
+	active[m.name] = true
+	defer delete(active, m.name)
+
+	ns, err := newNetState(m)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range m.inputs {
+		lits, ok := inputs[in.name]
+		if !ok || len(lits) != in.width() {
+			return nil, fmt.Errorf("verilog: %s: input %q not bound (or width mismatch)", m.name, in.name)
+		}
+		for i, l := range lits {
+			if err := ns.setBit(in.name, max(in.lsb, 0)+i, l); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Worklist elaboration: process items whose inputs are all driven;
+	// iterate to a fixpoint. Leftover items indicate combinational
+	// cycles or undriven nets.
+	pending := append([]item(nil), m.items...)
+	for len(pending) > 0 {
+		progressed := false
+		next := pending[:0]
+		for _, it := range pending {
+			done, err := e.tryItem(m, ns, it, active)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				progressed = true
+			} else {
+				next = append(next, it)
+			}
+		}
+		pending = next
+		if !progressed {
+			return nil, fmt.Errorf("verilog: %s: combinational cycle or undriven nets around line %d", m.name, pending[0].pos())
+		}
+	}
+
+	outs := map[string][]aig.Lit{}
+	for _, out := range m.outputs {
+		for i, driven := range ns.ok[out.name] {
+			if !driven {
+				return nil, fmt.Errorf("verilog: %s: output %s[%d] undriven", m.name, out.name, max(out.lsb, 0)+i)
+			}
+		}
+		outs[out.name] = ns.bits[out.name]
+	}
+	return outs, nil
+}
+
+// tryItem elaborates one item if its inputs are ready.
+func (e *elaborator) tryItem(m *module, ns *netState, it item, active map[string]bool) (bool, error) {
+	switch x := it.(type) {
+	case gateItem:
+		for _, c := range x.conns[1:] {
+			if !ns.ready(c) {
+				return false, nil
+			}
+		}
+		var ins []aig.Lit
+		for _, c := range x.conns[1:] {
+			bits, err := ns.evalBits(e.g, c)
+			if err != nil {
+				return false, err
+			}
+			if len(bits) != 1 {
+				return false, fmt.Errorf("verilog: %s: line %d: gate pin wider than one bit", m.name, x.line)
+			}
+			ins = append(ins, bits[0])
+		}
+		out, err := gateFunc(e.g, x.kind, ins)
+		if err != nil {
+			return false, fmt.Errorf("verilog: %s: line %d: %v", m.name, x.line, err)
+		}
+		names, idxs, err := ns.targets(x.conns[0])
+		if err != nil || len(names) != 1 {
+			return false, fmt.Errorf("verilog: %s: line %d: gate output must be a single bit", m.name, x.line)
+		}
+		return true, ns.setBit(names[0], idxs[0], out)
+
+	case assignItem:
+		if !ns.ready(x.rhs) {
+			return false, nil
+		}
+		bits, err := ns.evalBits(e.g, x.rhs)
+		if err != nil {
+			return false, err
+		}
+		names, idxs, err := ns.targets(x.lhs)
+		if err != nil {
+			return false, err
+		}
+		if len(bits) < len(names) {
+			// Zero-extend narrow rhs.
+			for len(bits) < len(names) {
+				bits = append(bits, aig.False)
+			}
+		}
+		for i := range names {
+			if err := ns.setBit(names[i], idxs[i], bits[i]); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+
+	case instItem:
+		sub, ok := e.design.modules[x.module]
+		if !ok {
+			return false, fmt.Errorf("verilog: %s: line %d: unknown module %q", m.name, x.line, x.module)
+		}
+		conns, err := bindPorts(sub, x)
+		if err != nil {
+			return false, err
+		}
+		// Wait until every input connection is ready.
+		for _, in := range sub.inputs {
+			c, bound := conns[in.name]
+			if !bound {
+				return false, fmt.Errorf("verilog: %s: line %d: input %q of %q unconnected", m.name, x.line, in.name, x.module)
+			}
+			if !ns.ready(c) {
+				return false, nil
+			}
+		}
+		subInputs := map[string][]aig.Lit{}
+		for _, in := range sub.inputs {
+			bits, err := ns.evalBits(e.g, conns[in.name])
+			if err != nil {
+				return false, err
+			}
+			if len(bits) < in.width() {
+				for len(bits) < in.width() {
+					bits = append(bits, aig.False)
+				}
+			}
+			subInputs[in.name] = bits[:in.width()]
+		}
+		outs, err := e.instantiate(sub, subInputs, active)
+		if err != nil {
+			return false, err
+		}
+		for _, out := range sub.outputs {
+			c, bound := conns[out.name]
+			if !bound {
+				continue // unconnected output is legal
+			}
+			names, idxs, err := ns.targets(c)
+			if err != nil {
+				return false, err
+			}
+			bits := outs[out.name]
+			if len(names) != len(bits) {
+				return false, fmt.Errorf("verilog: %s: line %d: width mismatch on port %q", m.name, x.line, out.name)
+			}
+			for i := range names {
+				if err := ns.setBit(names[i], idxs[i], bits[i]); err != nil {
+					return false, err
+				}
+			}
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("verilog: unknown item type")
+}
+
+// bindPorts resolves an instance's connections to the submodule's port
+// names.
+func bindPorts(sub *module, x instItem) (map[string]expr, error) {
+	conns := map[string]expr{}
+	if x.names != nil {
+		valid := map[string]bool{}
+		for _, p := range sub.ports {
+			valid[p] = true
+		}
+		for i, name := range x.names {
+			if !valid[name] {
+				known := append([]string(nil), sub.ports...)
+				sort.Strings(known)
+				return nil, fmt.Errorf("verilog: line %d: module %q has no port %q (ports: %v)", x.line, sub.name, name, known)
+			}
+			conns[name] = x.conns[i]
+		}
+		return conns, nil
+	}
+	if len(x.conns) > len(sub.ports) {
+		return nil, fmt.Errorf("verilog: line %d: too many connections for %q", x.line, sub.name)
+	}
+	for i, c := range x.conns {
+		conns[sub.ports[i]] = c
+	}
+	return conns, nil
+}
+
+// gateFunc builds a primitive gate.
+func gateFunc(g *aig.AIG, kind string, ins []aig.Lit) (aig.Lit, error) {
+	reduce := func(f func(a, b aig.Lit) aig.Lit) aig.Lit {
+		acc := ins[0]
+		for _, l := range ins[1:] {
+			acc = f(acc, l)
+		}
+		return acc
+	}
+	switch kind {
+	case "and":
+		return reduce(g.And), nil
+	case "nand":
+		return reduce(g.And).Not(), nil
+	case "or":
+		return reduce(g.Or), nil
+	case "nor":
+		return reduce(g.Or).Not(), nil
+	case "xor":
+		return reduce(g.Xor), nil
+	case "xnor":
+		return reduce(g.Xor).Not(), nil
+	case "not":
+		if len(ins) != 1 {
+			return 0, fmt.Errorf("not gate takes one input")
+		}
+		return ins[0].Not(), nil
+	case "buf":
+		if len(ins) != 1 {
+			return 0, fmt.Errorf("buf gate takes one input")
+		}
+		return ins[0], nil
+	}
+	return 0, fmt.Errorf("unknown gate %q", kind)
+}

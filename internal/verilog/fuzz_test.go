@@ -1,0 +1,29 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary source never panics the Verilog
+// frontend and that accepted designs elaborate or fail cleanly.
+func FuzzParse(f *testing.F) {
+	f.Add("module m (a, y); input a; output y; buf (y, a); endmodule")
+	f.Add("module m (a, y); input a; output y; assign y = a ? ~a : 1'b1; endmodule")
+	f.Add("module x (p); input [3:0] p; endmodule")
+	f.Add("module m (); endmodule")
+	f.Add("/* */ // \nmodule m (a); input a; endmodule")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		g, err := d.Elaborate("")
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("elaborated AIG fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,722 @@
+// Package verilog reads gate-level structural Verilog — the netlist
+// flavour synthesis tools emit and equivalence checkers consume. The
+// supported subset covers primitive gates (and/or/nand/nor/xor/xnor,
+// not/buf), continuous assigns with boolean expressions, bit-vector nets,
+// bit selects, and hierarchical module instantiation with positional or
+// named connections. Elaboration flattens the design into an AIG.
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ---- AST ----
+
+type design struct {
+	modules map[string]*module
+	order   []string // declaration order; the last module is the default top
+}
+
+type module struct {
+	name    string
+	ports   []string // declaration order of the header
+	inputs  []decl
+	outputs []decl
+	wires   []decl
+	items   []item
+}
+
+type decl struct {
+	name     string
+	msb, lsb int // msb == -1 for scalar nets
+}
+
+func (d decl) width() int {
+	if d.msb < 0 {
+		return 1
+	}
+	return d.msb - d.lsb + 1
+}
+
+// item is a structural statement: a gate, an assign or an instance.
+type item interface{ pos() int }
+
+type gateItem struct {
+	line  int
+	kind  string // and, or, nand, nor, xor, xnor, not, buf
+	name  string
+	conns []expr // conns[0] is the output
+}
+
+type assignItem struct {
+	line int
+	lhs  expr // identifier or bit-select
+	rhs  expr
+}
+
+type instItem struct {
+	line   int
+	module string
+	name   string
+	// positional when names is nil; otherwise names[i] labels conns[i].
+	names []string
+	conns []expr
+}
+
+func (g gateItem) pos() int   { return g.line }
+func (a assignItem) pos() int { return a.line }
+func (i instItem) pos() int   { return i.line }
+
+// expr is a boolean expression AST node.
+type expr interface{ String() string }
+
+type identExpr struct{ name string }
+
+type bitExpr struct {
+	name  string
+	index int
+}
+
+type constExpr struct {
+	bits []bool // LSB first
+}
+
+type unaryExpr struct {
+	op string // "~"
+	x  expr
+}
+
+type binExpr struct {
+	op   string // "&", "|", "^"
+	l, r expr
+}
+
+type condExpr struct {
+	cond, then, els expr
+}
+
+type concatExpr struct {
+	parts []expr // MSB first, per Verilog
+}
+
+func (e identExpr) String() string { return e.name }
+func (e bitExpr) String() string   { return fmt.Sprintf("%s[%d]", e.name, e.index) }
+func (e constExpr) String() string { return fmt.Sprintf("%d'b…", len(e.bits)) }
+func (e unaryExpr) String() string { return e.op + e.x.String() }
+func (e binExpr) String() string   { return "(" + e.l.String() + e.op + e.r.String() + ")" }
+func (e condExpr) String() string {
+	return "(" + e.cond.String() + "?" + e.then.String() + ":" + e.els.String() + ")"
+}
+func (e concatExpr) String() string {
+	parts := make([]string, len(e.parts))
+	for i, p := range e.parts {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ---- Lexer ----
+
+type token struct {
+	kind string // "ident", "num", "const", punctuation literals
+	text string
+	line int
+}
+
+type lexer struct {
+	src    []rune
+	pos    int
+	line   int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(c):
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.peek(1) == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		case unicode.IsLetter(c) || c == '_' || c == '\\':
+			l.lexIdent()
+		case unicode.IsDigit(c):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("()[]{},;:.=~&|^?", c):
+			l.emit(string(c), string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("verilog: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit("eof", "")
+	return l.tokens, nil
+}
+
+func (l *lexer) peek(k int) rune {
+	if l.pos+k < len(l.src) {
+		return l.src[l.pos+k]
+	}
+	return 0
+}
+
+func (l *lexer) emit(kind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	if l.src[l.pos] == '\\' { // escaped identifier: up to whitespace
+		l.pos++
+		for l.pos < len(l.src) && !unicode.IsSpace(l.src[l.pos]) {
+			l.pos++
+		}
+		l.emit("ident", string(l.src[start+1:l.pos]))
+		return
+	}
+	for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_' || l.src[l.pos] == '$') {
+		l.pos++
+	}
+	l.emit("ident", string(l.src[start:l.pos]))
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+		// Sized constant: N'b…, N'h…, N'd….
+		l.pos++
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("verilog: line %d: truncated constant", l.line)
+		}
+		base := unicode.ToLower(l.src[l.pos])
+		l.pos++
+		digitStart := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+			l.pos++
+		}
+		text := string(l.src[start:l.pos])
+		_ = digitStart
+		if !strings.ContainsRune("bhd", base) {
+			return fmt.Errorf("verilog: line %d: unsupported constant base in %q", l.line, text)
+		}
+		l.emit("const", text)
+		return nil
+	}
+	l.emit("num", string(l.src[start:l.pos]))
+	return nil
+}
+
+// ---- Parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse reads structural Verilog source into a design.
+func Parse(r io.Reader) (*Design, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := lex(string(data))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	d := &design{modules: map[string]*module{}}
+	for p.cur().kind != "eof" {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := d.modules[m.name]; dup {
+			return nil, fmt.Errorf("verilog: duplicate module %q", m.name)
+		}
+		d.modules[m.name] = m
+		d.order = append(d.order, m.name)
+	}
+	if len(d.order) == 0 {
+		return nil, fmt.Errorf("verilog: no modules found")
+	}
+	return &Design{d: d}, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != "ident" || t.text != kw {
+		return fmt.Errorf("verilog: line %d: expected %q, got %q", t.line, kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) accept(kind string) bool {
+	if p.cur().kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+var gateKinds = map[string]bool{
+	"and": true, "or": true, "nand": true, "nor": true,
+	"xor": true, "xnor": true, "not": true, "buf": true,
+}
+
+func (p *parser) parseModule() (*module, error) {
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect("ident")
+	if err != nil {
+		return nil, err
+	}
+	m := &module{name: nameTok.text}
+	if p.accept("(") {
+		for !p.accept(")") {
+			// Tolerate ANSI-style "input [3:0] x" in the port list by
+			// skipping direction keywords and ranges.
+			t := p.cur()
+			if t.kind == "ident" && (t.text == "input" || t.text == "output" || t.text == "wire") {
+				dir := p.next().text
+				d, err := p.parseRangeAndName()
+				if err != nil {
+					return nil, err
+				}
+				m.ports = append(m.ports, d.name)
+				switch dir {
+				case "input":
+					m.inputs = append(m.inputs, d)
+				case "output":
+					m.outputs = append(m.outputs, d)
+				}
+				if !p.accept(",") && p.cur().kind != ")" {
+					return nil, fmt.Errorf("verilog: line %d: malformed port list", p.cur().line)
+				}
+				continue
+			}
+			id, err := p.expect("ident")
+			if err != nil {
+				return nil, err
+			}
+			m.ports = append(m.ports, id.text)
+			if !p.accept(",") && p.cur().kind != ")" {
+				return nil, fmt.Errorf("verilog: line %d: malformed port list", id.line)
+			}
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	for {
+		t := p.cur()
+		if t.kind == "eof" {
+			return nil, fmt.Errorf("verilog: line %d: unexpected end of file in module %s", t.line, m.name)
+		}
+		if t.kind != "ident" {
+			return nil, fmt.Errorf("verilog: line %d: unexpected token %q", t.line, t.text)
+		}
+		switch {
+		case t.text == "endmodule":
+			p.pos++
+			return m, nil
+		case t.text == "input" || t.text == "output" || t.text == "wire":
+			dir := p.next().text
+			decls, err := p.parseDeclList()
+			if err != nil {
+				return nil, err
+			}
+			switch dir {
+			case "input":
+				m.inputs = append(m.inputs, decls...)
+			case "output":
+				m.outputs = append(m.outputs, decls...)
+			default:
+				m.wires = append(m.wires, decls...)
+			}
+		case t.text == "assign":
+			p.pos++
+			a, err := p.parseAssign(t.line)
+			if err != nil {
+				return nil, err
+			}
+			m.items = append(m.items, a)
+		case gateKinds[t.text]:
+			p.pos++
+			g, err := p.parseGate(t.text, t.line)
+			if err != nil {
+				return nil, err
+			}
+			m.items = append(m.items, g)
+		default:
+			// Module instantiation: <module> <inst> ( … ) ;
+			p.pos++
+			inst, err := p.parseInstance(t.text, t.line)
+			if err != nil {
+				return nil, err
+			}
+			m.items = append(m.items, inst)
+		}
+	}
+}
+
+// parseRangeAndName parses "[msb:lsb] name" or just "name".
+func (p *parser) parseRangeAndName() (decl, error) {
+	d := decl{msb: -1, lsb: -1}
+	if p.accept("[") {
+		msb, err := p.parseInt()
+		if err != nil {
+			return d, err
+		}
+		if _, err := p.expect(":"); err != nil {
+			return d, err
+		}
+		lsb, err := p.parseInt()
+		if err != nil {
+			return d, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return d, err
+		}
+		if lsb > msb {
+			return d, fmt.Errorf("verilog: descending ranges only: [%d:%d]", msb, lsb)
+		}
+		d.msb, d.lsb = msb, lsb
+	}
+	id, err := p.expect("ident")
+	if err != nil {
+		return d, err
+	}
+	d.name = id.text
+	return d, nil
+}
+
+func (p *parser) parseDeclList() ([]decl, error) {
+	first, err := p.parseRangeAndName()
+	if err != nil {
+		return nil, err
+	}
+	decls := []decl{first}
+	for p.accept(",") {
+		id, err := p.expect("ident")
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, decl{name: id.text, msb: first.msb, lsb: first.lsb})
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	t, err := p.expect("num")
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(t.text)
+}
+
+func (p *parser) parseAssign(line int) (assignItem, error) {
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return assignItem{}, err
+	}
+	if _, err := p.expect("="); err != nil {
+		return assignItem{}, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return assignItem{}, err
+	}
+	if _, err := p.expect(";"); err != nil {
+		return assignItem{}, err
+	}
+	return assignItem{line: line, lhs: lhs, rhs: rhs}, nil
+}
+
+func (p *parser) parseGate(kind string, line int) (gateItem, error) {
+	g := gateItem{line: line, kind: kind}
+	if p.cur().kind == "ident" {
+		g.name = p.next().text
+	}
+	if _, err := p.expect("("); err != nil {
+		return g, err
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return g, err
+		}
+		g.conns = append(g.conns, e)
+		if p.accept(")") {
+			break
+		}
+		if _, err := p.expect(","); err != nil {
+			return g, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return g, err
+	}
+	if len(g.conns) < 2 {
+		return g, fmt.Errorf("verilog: line %d: gate %s needs an output and at least one input", line, kind)
+	}
+	return g, nil
+}
+
+func (p *parser) parseInstance(moduleName string, line int) (instItem, error) {
+	inst := instItem{line: line, module: moduleName}
+	id, err := p.expect("ident")
+	if err != nil {
+		return inst, fmt.Errorf("verilog: line %d: expected instance name after %q", line, moduleName)
+	}
+	inst.name = id.text
+	if _, err := p.expect("("); err != nil {
+		return inst, err
+	}
+	named := p.cur().kind == "."
+	for {
+		if named {
+			if _, err := p.expect("."); err != nil {
+				return inst, err
+			}
+			port, err := p.expect("ident")
+			if err != nil {
+				return inst, err
+			}
+			if _, err := p.expect("("); err != nil {
+				return inst, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return inst, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return inst, err
+			}
+			inst.names = append(inst.names, port.text)
+			inst.conns = append(inst.conns, e)
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return inst, err
+			}
+			inst.conns = append(inst.conns, e)
+		}
+		if p.accept(")") {
+			break
+		}
+		if _, err := p.expect(","); err != nil {
+			return inst, err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return inst, err
+	}
+	return inst, nil
+}
+
+// Expression grammar: cond := or ('?' cond ':' cond)?; or := xor ('|' xor)*;
+// xor := and ('^' and)*; and := unary ('&' unary)*; unary := '~' unary | primary.
+func (p *parser) parseExpr() (expr, error) {
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return condExpr{cond: e, then: then, els: els}, nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseOr() (expr, error) {
+	e, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("|") {
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		e = binExpr{op: "|", l: e, r: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseXor() (expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("^") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		e = binExpr{op: "^", l: e, r: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	e, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		e = binExpr{op: "&", l: e, r: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.accept("~") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "~", x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.next()
+	switch t.kind {
+	case "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "{":
+		var parts []expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+			if p.accept("}") {
+				break
+			}
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		return concatExpr{parts: parts}, nil
+	case "ident":
+		if p.accept("[") {
+			idx, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return bitExpr{name: t.text, index: idx}, nil
+		}
+		return identExpr{name: t.text}, nil
+	case "const":
+		return parseConst(t)
+	default:
+		return nil, fmt.Errorf("verilog: line %d: unexpected token %q in expression", t.line, t.text)
+	}
+}
+
+// parseConst decodes sized constants like 4'b1010, 8'hff, 3'd5.
+func parseConst(t token) (expr, error) {
+	parts := strings.SplitN(t.text, "'", 2)
+	width, err := strconv.Atoi(parts[0])
+	if err != nil || width <= 0 || width > 64 {
+		return nil, fmt.Errorf("verilog: line %d: bad constant width in %q", t.line, t.text)
+	}
+	body := strings.ReplaceAll(parts[1], "_", "")
+	base := body[0]
+	digits := body[1:]
+	var value uint64
+	switch base {
+	case 'b', 'B':
+		v, err := strconv.ParseUint(digits, 2, 64)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: line %d: bad binary constant %q", t.line, t.text)
+		}
+		value = v
+	case 'h', 'H':
+		v, err := strconv.ParseUint(digits, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: line %d: bad hex constant %q", t.line, t.text)
+		}
+		value = v
+	case 'd', 'D':
+		v, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("verilog: line %d: bad decimal constant %q", t.line, t.text)
+		}
+		value = v
+	default:
+		return nil, fmt.Errorf("verilog: line %d: unsupported base %q", t.line, t.text)
+	}
+	bits := make([]bool, width)
+	for i := range bits {
+		bits[i] = (value>>uint(i))&1 == 1
+	}
+	return constExpr{bits: bits}, nil
+}

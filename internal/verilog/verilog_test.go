@@ -1,0 +1,233 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+func elaborate(t *testing.T, src, top string) *testAIG {
+	t.Helper()
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Elaborate(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testAIG{t: t, g: g}
+}
+
+func TestGatesElaborate(t *testing.T) {
+	src := `
+// primitive gates
+module gates (a, b, y_and, y_or, y_xor, y_nand, y_nor, y_xnor, y_not);
+  input a, b;
+  output y_and, y_or, y_xor, y_nand, y_nor, y_xnor, y_not;
+  and  g0 (y_and, a, b);
+  or   g1 (y_or, a, b);
+  xor  g2 (y_xor, a, b);
+  nand g3 (y_nand, a, b);
+  nor  g4 (y_nor, a, b);
+  xnor g5 (y_xnor, a, b);
+  not  g6 (y_not, a);
+endmodule
+`
+	ta := elaborate(t, src, "")
+	for i := 0; i < 4; i++ {
+		a, b := i&1 == 1, i&2 == 2
+		out := ta.eval(a, b)
+		want := []bool{a && b, a || b, a != b, !(a && b), !(a || b), a == b, !a}
+		for j, w := range want {
+			if out[j] != w {
+				t.Fatalf("input (%v,%v) output %d = %v, want %v", a, b, j, out[j], w)
+			}
+		}
+	}
+}
+
+func TestAssignExpressions(t *testing.T) {
+	src := `
+module expr (a, b, c, y, z);
+  input a, b, c;
+  output y, z;
+  wire t;
+  assign t = (a & ~b) | (b ^ c);
+  assign y = t;
+  assign z = a ? b : c;
+endmodule
+`
+	ta := elaborate(t, src, "")
+	for i := 0; i < 8; i++ {
+		a, b, c := i&1 == 1, i&2 == 2, i&4 == 4
+		out := ta.eval(a, b, c)
+		wantY := (a && !b) || (b != c)
+		wantZ := c
+		if a {
+			wantZ = b
+		}
+		if out[0] != wantY || out[1] != wantZ {
+			t.Fatalf("input %03b: got %v, want (%v,%v)", i, out, wantY, wantZ)
+		}
+	}
+}
+
+func TestBusAndBitSelect(t *testing.T) {
+	src := `
+module bus (x, y);
+  input [3:0] x;
+  output [3:0] y;
+  assign y[0] = x[3];
+  assign y[1] = x[2];
+  assign y[2] = x[1];
+  assign y[3] = x[0];
+endmodule
+`
+	ta := elaborate(t, src, "")
+	out := ta.eval(true, false, true, false) // x = 0b0101
+	want := []bool{false, true, false, true} // reversed
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("y[%d] = %v, want %v", i, out[i], w)
+		}
+	}
+}
+
+func TestConcatAndConstants(t *testing.T) {
+	src := `
+module cc (a, y);
+  input [1:0] a;
+  output [3:0] y;
+  assign y = {a, 2'b10};
+endmodule
+`
+	ta := elaborate(t, src, "")
+	// y = {a[1], a[0], 1, 0}: y[0]=0, y[1]=1, y[2]=a[0], y[3]=a[1].
+	out := ta.eval(true, false) // a[0]=1, a[1]=0
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("y[%d] = %v, want %v (out=%v)", i, out[i], w, out)
+		}
+	}
+}
+
+func TestHierarchyNamedAndPositional(t *testing.T) {
+	src := `
+module ha (a, b, s, c);
+  input a, b;
+  output s, c;
+  xor (s, a, b);
+  and (c, a, b);
+endmodule
+
+module fa (x, y, cin, sum, cout);
+  input x, y, cin;
+  output sum, cout;
+  wire s1, c1, c2;
+  ha u1 (.a(x), .b(y), .s(s1), .c(c1));
+  ha u2 (s1, cin, sum, c2);
+  or (cout, c1, c2);
+endmodule
+`
+	ta := elaborate(t, src, "fa")
+	for i := 0; i < 8; i++ {
+		x, y, cin := i&1 == 1, i&2 == 2, i&4 == 4
+		out := ta.eval(x, y, cin)
+		n := b2i(x) + b2i(y) + b2i(cin)
+		if out[0] != (n%2 == 1) || out[1] != (n >= 2) {
+			t.Fatalf("fa(%v,%v,%v) = %v, want sum=%v cout=%v", x, y, cin, out, n%2 == 1, n >= 2)
+		}
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestTopDetection(t *testing.T) {
+	src := `
+module leaf (a, y); input a; output y; buf (y, a); endmodule
+module top (a, y); input a; output y; leaf u (a, y); endmodule
+`
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Top() != "top" {
+		t.Fatalf("top = %q", d.Top())
+	}
+	if mods := d.Modules(); len(mods) != 2 || mods[0] != "leaf" {
+		t.Fatalf("modules = %v", mods)
+	}
+}
+
+func TestErrorsDetected(t *testing.T) {
+	cases := map[string]string{
+		"recursive instantiation": `module m (a, y); input a; output y; m u (a, y); endmodule`,
+		"combinational cycle":     `module m (a, y); input a; output y; wire w; and (w, a, y); and (y, a, w); endmodule`,
+		"double driver":           `module m (a, y); input a; output y; buf (y, a); not (y, a); endmodule`,
+		"undriven output":         `module m (a, y); input a; output y; wire w; endmodule`,
+		"unknown module":          `module m (a, y); input a; output y; ghost u (a, y); endmodule`,
+		"unknown port":            `module s (a, y); input a; output y; buf (y, a); endmodule module m (a, y); input a; output y; s u (.bogus(a), .y(y)); endmodule`,
+	}
+	for name, src := range cases {
+		d, err := Parse(strings.NewReader(src))
+		if err != nil {
+			continue // a parse error is also a valid rejection
+		}
+		if _, err := d.Elaborate(""); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"module m a, y); endmodule",
+		"module m (a); input a; 5'bxx; endmodule",
+		"module m (a, y); input a; output y; assign y = a @ a; endmodule",
+		"module m (a, y); input a; output y; and (y, a, a endmodule",
+	}
+	for i, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed source accepted", i)
+		}
+	}
+}
+
+func TestCommentsAndEscapedIdentifiers(t *testing.T) {
+	src := `
+/* block comment
+   over lines */
+module m (a, y); // trailing
+  input a;  output y;
+  buf (\y$odd , a);
+  assign y = \y$odd ;
+endmodule
+`
+	ta := elaborate(t, src, "")
+	if out := ta.eval(true); !out[0] {
+		t.Fatal("escaped identifier path broken")
+	}
+}
+
+// testAIG wraps evaluation.
+type testAIG struct {
+	t *testing.T
+	g interface {
+		Eval([]bool) []bool
+		NumPIs() int
+	}
+}
+
+func (ta *testAIG) eval(in ...bool) []bool {
+	if len(in) != ta.g.NumPIs() {
+		ta.t.Fatalf("eval got %d inputs, circuit has %d PIs", len(in), ta.g.NumPIs())
+	}
+	return ta.g.Eval(in)
+}

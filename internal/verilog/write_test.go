@@ -1,0 +1,79 @@
+package verilog
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"simsweep/internal/aig"
+)
+
+func TestWriteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := aig.New()
+	var lits []aig.Lit
+	for i := 0; i < 5; i++ {
+		lits = append(lits, g.AddPI())
+	}
+	for i := 0; i < 40; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 1)
+		lits = append(lits, g.And(a, b))
+	}
+	g.AddPO(lits[len(lits)-1])
+	g.AddPO(lits[len(lits)-3].Not())
+	g.AddPO(aig.True)
+	g.Name = "rt"
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse of emitted Verilog failed: %v\n%s", err, buf.String())
+	}
+	back, err := d.Elaborate("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPIs() != g.NumPIs() || back.NumPOs() != g.NumPOs() {
+		t.Fatalf("interface changed: %d/%d PIs %d/%d POs",
+			back.NumPIs(), g.NumPIs(), back.NumPOs(), g.NumPOs())
+	}
+	for k := 0; k < 32; k++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		oa, ob := g.Eval(in), back.Eval(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("round trip changed output %d", i)
+			}
+		}
+	}
+}
+
+func TestWriteConstantsOnly(t *testing.T) {
+	g := aig.New()
+	g.AddPI()
+	g.AddPO(aig.False)
+	g.AddPO(aig.True)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Elaborate("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := back.Eval([]bool{true})
+	if out[0] || !out[1] {
+		t.Fatalf("constants wrong: %v", out)
+	}
+}

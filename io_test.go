@@ -1,0 +1,83 @@
+package simsweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadNetlistFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+
+	g, err := Generate("adder", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aigPath := filepath.Join(dir, "a.aig")
+	if err := WriteAIGERFile(aigPath, g); err != nil {
+		t.Fatal(err)
+	}
+	vPath := filepath.Join(dir, "a.v")
+	vf, err := os.Create(vPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVerilog(vf, g); err != nil {
+		t.Fatal(err)
+	}
+	vf.Close()
+
+	fromAIG, err := ReadNetlistFile(aigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV, err := ReadNetlistFile(vPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckEquivalence(fromAIG, fromV, Options{Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Equivalent {
+		t.Fatalf("AIGER and Verilog views differ: %v", res.Outcome)
+	}
+
+	if _, err := ReadNetlistFile(filepath.Join(dir, "missing.aig")); err == nil {
+		t.Fatal("missing AIGER accepted")
+	}
+	if _, err := ReadNetlistFile(filepath.Join(dir, "missing.v")); err == nil {
+		t.Fatal("missing Verilog accepted")
+	}
+	badV := filepath.Join(dir, "bad.v")
+	if err := os.WriteFile(badV, []byte("module broken ("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadNetlistFile(badV); err == nil {
+		t.Fatal("malformed Verilog accepted")
+	}
+}
+
+func TestSequentialPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tff.aag")
+	src := "aag 5 1 1 1 3\n2\n4 11\n4\n6 4 3\n8 5 2\n10 7 9\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, latches, err := ReadSequentialAIGERFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latches != 1 || g.NumPIs() != 2 || g.NumPOs() != 2 {
+		t.Fatalf("latches=%d %s", latches, g.Stats())
+	}
+	// The cut view must verify against itself through the optimizer.
+	res, err := CheckEquivalence(g, Optimize(g), Options{Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Equivalent {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+}

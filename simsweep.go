@@ -1,0 +1,446 @@
+// Package simsweep is a combinational equivalence checking (CEC) toolkit
+// built around simulation-based parallel sweeping: candidate node
+// equivalences of a miter are proved by exhaustive simulation — comparing
+// entire truth tables with a memory-capped, multi-round, parallel
+// simulator — instead of SAT, following Liu & Young, "Simulation-based
+// Parallel Sweeping: A New Perspective on Combinational Equivalence
+// Checking" (DAC 2025).
+//
+// The package exposes:
+//
+//   - AIG construction and AIGER I/O (New, ReadAIGER, WriteAIGER),
+//   - benchmark circuit generators and a resyn2-style optimizer
+//     (Generate, Optimize, Double) for building realistic miters,
+//   - the checkers: the simulation engine, a SAT sweeping baseline with a
+//     built-in CDCL solver, a BDD engine, the hybrid sim+SAT flow the
+//     paper calls "GPU+ABC", and a multi-engine portfolio
+//     (CheckEquivalence, CheckMiter).
+//
+// Everything is pure Go with no dependencies; the massively parallel GPU
+// kernels of the original system are realised as CPU-parallel kernels over
+// a worker-pool device.
+package simsweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/aiger"
+	"simsweep/internal/bdd"
+	"simsweep/internal/core"
+	"simsweep/internal/gen"
+	"simsweep/internal/miter"
+	"simsweep/internal/opt"
+	"simsweep/internal/par"
+	"simsweep/internal/portfolio"
+	"simsweep/internal/satsweep"
+	"simsweep/internal/verilog"
+)
+
+// AIG is an And-Inverter Graph, the circuit representation of the toolkit.
+// See NewAIG, ReadAIGER and Generate for the usual ways to obtain one.
+type AIG = aig.AIG
+
+// Lit is an AIG literal: a node with an optional complement.
+type Lit = aig.Lit
+
+// Constant literals.
+const (
+	False = aig.False
+	True  = aig.True
+)
+
+// NewAIG returns an empty AIG for manual construction.
+func NewAIG() *AIG { return aig.New() }
+
+// ReadAIGER parses an AIGER file (ASCII "aag" or binary "aig" format).
+func ReadAIGER(r io.Reader) (*AIG, error) { return aiger.Read(r) }
+
+// ReadAIGERFile parses the AIGER file at path.
+func ReadAIGERFile(path string) (*AIG, error) { return aiger.ReadFile(path) }
+
+// WriteAIGER writes g in AIGER format (binary when binary is true).
+func WriteAIGER(w io.Writer, g *AIG, binary bool) error { return aiger.Write(w, g, binary) }
+
+// WriteAIGERFile writes g to path, binary when the name ends in ".aig".
+func WriteAIGERFile(path string, g *AIG) error { return aiger.WriteFile(path, g) }
+
+// ReadSequentialAIGER parses an AIGER file that may contain latches and
+// returns the latch-boundary-cut combinational view (pseudo-PI per latch
+// output, pseudo-PO per next-state function) plus the latch count. Two
+// sequential designs with the same state encoding are equivalent iff
+// CheckEquivalence proves their cut views equivalent.
+func ReadSequentialAIGER(r io.Reader) (*AIG, int, error) { return aiger.ReadSequential(r) }
+
+// ReadSequentialAIGERFile is ReadSequentialAIGER over a file.
+func ReadSequentialAIGERFile(path string) (*AIG, int, error) { return aiger.ReadSequentialFile(path) }
+
+// ReadVerilog parses gate-level structural Verilog and elaborates the top
+// module (or the named one when top is non-empty) into an AIG.
+func ReadVerilog(r io.Reader, top string) (*AIG, error) {
+	d, err := verilog.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.Elaborate(top)
+}
+
+// WriteVerilog emits g as flat structural Verilog.
+func WriteVerilog(w io.Writer, g *AIG) error { return verilog.Write(w, g) }
+
+// ReadNetlistFile reads a circuit from path, choosing the format by
+// extension: ".v" structural Verilog, anything else AIGER.
+func ReadNetlistFile(path string) (*AIG, error) {
+	if strings.HasSuffix(path, ".v") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := ReadVerilog(f, "")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return g, nil
+	}
+	return ReadAIGERFile(path)
+}
+
+// Generate builds a named benchmark circuit ("multiplier", "square",
+// "sqrt", "hyp", "log2", "sin", "voter", "ac97_ctrl", "vga_lcd", "adder")
+// at the given scale. See BenchmarkNames.
+func Generate(name string, scale int) (*AIG, error) { return gen.Benchmark(name, scale) }
+
+// BenchmarkNames lists the benchmark families of the paper's Table II.
+func BenchmarkNames() []string { return gen.Names() }
+
+// Optimize restructures g with the balance/rewrite/refactor script that
+// stands in for ABC's resyn2, preserving every output function.
+func Optimize(g *AIG) *AIG { return opt.Resyn2(g, nil) }
+
+// Balance re-associates AND trees to reduce depth.
+func Balance(g *AIG) *AIG { return opt.Balance(g) }
+
+// Double returns two disjoint copies of g side by side (the enlargement
+// the paper applies to its benchmarks), n times.
+func Double(g *AIG, n int) *AIG { return aig.DoubleN(g, n) }
+
+// BuildMiter builds the miter of two circuits with matching interfaces.
+func BuildMiter(a, b *AIG) (*AIG, error) { return miter.Build(a, b) }
+
+// Outcome is a CEC verdict.
+type Outcome int
+
+// Verdicts of a check.
+const (
+	Undecided Outcome = iota
+	Equivalent
+	NotEquivalent
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Equivalent:
+		return "equivalent"
+	case NotEquivalent:
+		return "NOT equivalent"
+	}
+	return "undecided"
+}
+
+// Engine selects the checking algorithm.
+type Engine string
+
+// Available engines. EngineHybrid is the paper's full flow: the simulation
+// engine reduces (and often fully proves) the miter, and SAT sweeping
+// finishes whatever remains.
+const (
+	EngineHybrid    Engine = "hybrid"
+	EngineSim       Engine = "sim"
+	EngineSAT       Engine = "sat"
+	EngineBDD       Engine = "bdd"
+	EnginePortfolio Engine = "portfolio"
+)
+
+// Options configures a check. The zero value selects the hybrid engine
+// with the paper's parameters on all CPUs.
+type Options struct {
+	// Engine picks the algorithm (default EngineHybrid).
+	Engine Engine
+	// Workers bounds the parallel device (0: all CPUs).
+	Workers int
+	// Seed drives random simulation patterns.
+	Seed int64
+	// ConflictLimit bounds each SAT call of the sweeping backend
+	// (0: unlimited — complete checking).
+	ConflictLimit int64
+	// BDDNodeLimit bounds the BDD engine (0: default 4M nodes).
+	BDDNodeLimit int
+	// SimConfig overrides the simulation engine parameters; nil selects
+	// the paper's defaults.
+	SimConfig *core.Config
+	// Stop cancels a run cooperatively.
+	Stop <-chan struct{}
+	// Log, when non-nil, receives per-phase progress lines from the
+	// simulation engine.
+	Log io.Writer
+}
+
+// PhaseStat re-exports the engine's per-phase record.
+type PhaseStat = core.PhaseStat
+
+// ProvedPair re-exports the engine's proof-journal entry.
+type ProvedPair = core.ProvedPair
+
+// SimStats re-exports the simulation engine statistics.
+type SimStats = core.Stats
+
+// Result reports a check.
+type Result struct {
+	Outcome Outcome
+	// CEX is a PI assignment separating the circuits (NotEquivalent).
+	CEX []bool
+	// Runtime is the wall-clock time of the whole check.
+	Runtime time.Duration
+	// EngineUsed names the engine that reached the verdict (for the
+	// portfolio, the race winner).
+	EngineUsed string
+
+	// SimPhases and SimStats describe the simulation engine's run when
+	// it participated (hybrid and sim engines).
+	SimPhases []PhaseStat
+	SimStats  *SimStats
+	// Journal lists every equivalence the simulation engine proved, in
+	// merge order — an audit trail of the sweep.
+	Journal []ProvedPair
+	// ReducedPercent is the miter reduction achieved by the simulation
+	// engine before any SAT backend ran (Table II's "Reduced (%)").
+	ReducedPercent float64
+	// SATTime is the time spent in the SAT sweeping backend of the
+	// hybrid flow.
+	SATTime time.Duration
+	// Reduced is the final miter (empty when proved).
+	Reduced *AIG
+}
+
+// CheckEquivalence checks two circuits with matching interfaces.
+func CheckEquivalence(a, b *AIG, o Options) (Result, error) {
+	m, err := miter.Build(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	return CheckMiter(m, o)
+}
+
+// CheckMiter decides whether every output of a miter is constant zero.
+func CheckMiter(m *AIG, o Options) (Result, error) {
+	start := time.Now()
+	res, err := checkMiter(m, o)
+	res.Runtime = time.Since(start)
+	return res, err
+}
+
+func checkMiter(m *AIG, o Options) (Result, error) {
+	dev := par.NewDevice(o.Workers)
+	switch o.Engine {
+	case "", EngineHybrid:
+		return runHybrid(m, o, dev), nil
+	case EngineSim:
+		r := runSim(m, o, dev)
+		return r, nil
+	case EngineSAT:
+		return runSAT(m, o, dev), nil
+	case EngineBDD:
+		return runBDD(m, o), nil
+	case EnginePortfolio:
+		return runPortfolio(m, o), nil
+	default:
+		return Result{}, fmt.Errorf("simsweep: unknown engine %q", o.Engine)
+	}
+}
+
+func (o Options) simConfig(dev *par.Device) core.Config {
+	var cfg core.Config
+	if o.SimConfig != nil {
+		cfg = *o.SimConfig
+	} else {
+		cfg = core.DefaultConfig()
+	}
+	cfg.Dev = dev
+	cfg.Seed = o.Seed
+	if o.Stop != nil {
+		cfg.Stop = o.Stop
+	}
+	if o.Log != nil {
+		cfg.Log = o.Log
+	}
+	return cfg
+}
+
+func outcomeOfCore(o core.Outcome) Outcome {
+	switch o {
+	case core.Equivalent:
+		return Equivalent
+	case core.NotEquivalent:
+		return NotEquivalent
+	}
+	return Undecided
+}
+
+func outcomeOfSweep(o satsweep.Outcome) Outcome {
+	switch o {
+	case satsweep.Equivalent:
+		return Equivalent
+	case satsweep.NotEquivalent:
+		return NotEquivalent
+	}
+	return Undecided
+}
+
+func runSim(m *AIG, o Options, dev *par.Device) Result {
+	cr := core.CheckMiter(m, o.simConfig(dev))
+	stats := cr.Stats
+	return Result{
+		Outcome:        outcomeOfCore(cr.Outcome),
+		CEX:            cr.CEX,
+		EngineUsed:     "sim",
+		SimPhases:      cr.Phases,
+		SimStats:       &stats,
+		Journal:        cr.Journal,
+		ReducedPercent: stats.ReductionPercent(),
+		Reduced:        cr.Reduced,
+	}
+}
+
+func runSAT(m *AIG, o Options, dev *par.Device) Result {
+	sr := satsweep.CheckMiter(m, satsweep.Options{
+		Dev:           dev,
+		ConflictLimit: o.ConflictLimit,
+		Seed:          o.Seed,
+		Stop:          o.Stop,
+	})
+	return Result{
+		Outcome:    outcomeOfSweep(sr.Outcome),
+		CEX:        sr.CEX,
+		EngineUsed: "sat",
+		SATTime:    sr.Stats.Runtime,
+		Reduced:    sr.Reduced,
+	}
+}
+
+func runBDD(m *AIG, o Options) Result {
+	equal, cex, err := bdd.CheckMiter(m, o.BDDNodeLimit)
+	r := Result{EngineUsed: "bdd", Reduced: m}
+	switch {
+	case err != nil:
+		r.Outcome = Undecided
+	case equal:
+		r.Outcome = Equivalent
+	default:
+		r.Outcome = NotEquivalent
+		r.CEX = cex
+	}
+	return r
+}
+
+// runHybrid is the paper's flow: the simulation engine first, then SAT
+// sweeping on the reduced miter when something is left undecided. The
+// engine's pattern bank (carrying every counter-example it found) seeds
+// the SAT sweep, so disproved pairs are never re-proved (§V EC transfer).
+func runHybrid(m *AIG, o Options, dev *par.Device) Result {
+	cr := core.CheckMiter(m, o.simConfig(dev))
+	stats := cr.Stats
+	r := Result{
+		Outcome:        outcomeOfCore(cr.Outcome),
+		CEX:            cr.CEX,
+		EngineUsed:     "hybrid",
+		SimPhases:      cr.Phases,
+		SimStats:       &stats,
+		Journal:        cr.Journal,
+		ReducedPercent: stats.ReductionPercent(),
+		Reduced:        cr.Reduced,
+	}
+	if r.Outcome != Undecided {
+		return r
+	}
+	satStart := time.Now()
+	sr := satsweep.CheckMiter(r.Reduced, satsweep.Options{
+		Dev:           dev,
+		ConflictLimit: o.ConflictLimit,
+		Seed:          o.Seed,
+		Stop:          o.Stop,
+		SeedBank:      cr.PatternBank,
+	})
+	r.SATTime = time.Since(satStart)
+	r.Outcome = outcomeOfSweep(sr.Outcome)
+	r.CEX = sr.CEX
+	r.Reduced = sr.Reduced
+	return r
+}
+
+// runPortfolio races the hybrid flow, standalone SAT sweeping and the BDD
+// engine, first definitive verdict wins — the execution model the paper
+// attributes to commercial multi-engine checkers.
+func runPortfolio(m *AIG, o Options) Result {
+	engines := []portfolio.Engine{
+		{
+			Name: "hybrid",
+			Run: func(mm *AIG, stop <-chan struct{}) (portfolio.Verdict, []bool) {
+				oo := o
+				oo.Stop = stop
+				r := runHybrid(mm, oo, par.NewDevice(o.Workers))
+				return portfolioVerdict(r.Outcome), r.CEX
+			},
+		},
+		{
+			Name: "sat",
+			Run: func(mm *AIG, stop <-chan struct{}) (portfolio.Verdict, []bool) {
+				sr := satsweep.CheckMiter(mm, satsweep.Options{
+					Dev:           par.NewDevice(o.Workers),
+					ConflictLimit: o.ConflictLimit,
+					Seed:          o.Seed + 1,
+					Stop:          stop,
+				})
+				return portfolioVerdict(outcomeOfSweep(sr.Outcome)), sr.CEX
+			},
+		},
+		{
+			Name: "bdd",
+			Run: func(mm *AIG, stop <-chan struct{}) (portfolio.Verdict, []bool) {
+				r := runBDD(mm, o)
+				return portfolioVerdict(r.Outcome), r.CEX
+			},
+		},
+	}
+	pr := portfolio.Check(m, engines)
+	return Result{
+		Outcome:    outcomeOfPortfolio(pr.Verdict),
+		CEX:        pr.CEX,
+		EngineUsed: "portfolio/" + pr.Engine,
+		Reduced:    m,
+	}
+}
+
+func portfolioVerdict(o Outcome) portfolio.Verdict {
+	switch o {
+	case Equivalent:
+		return portfolio.Equivalent
+	case NotEquivalent:
+		return portfolio.NotEquivalent
+	}
+	return portfolio.Undecided
+}
+
+func outcomeOfPortfolio(v portfolio.Verdict) Outcome {
+	switch v {
+	case portfolio.Equivalent:
+		return Equivalent
+	case portfolio.NotEquivalent:
+		return NotEquivalent
+	}
+	return Undecided
+}
