@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench benchtab
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-heavy packages: the persistent
+# worker pool and the window-parallel exhaustive simulator built on it.
+race:
+	$(GO) test -race ./internal/par/... ./internal/sim/...
+
+bench:
+	$(GO) test -bench 'BenchmarkExhaustiveCheckBatch|BenchmarkDeviceLaunch' -benchmem ./internal/par/ ./internal/sim/
+
+benchtab:
+	$(GO) run ./cmd/benchtab -all

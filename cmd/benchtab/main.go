@@ -11,10 +11,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"simsweep/internal/bench"
 	"simsweep/internal/par"
@@ -33,6 +36,7 @@ func run() int {
 	only := flag.String("only", "", "comma-separated benchmark families to run")
 	workers := flag.Int("workers", 0, "parallel workers (0: all CPUs)")
 	seed := flag.Int64("seed", 1, "random simulation seed")
+	benchJSON := flag.String("benchjson", "BENCH_sim.json", "write per-kernel device statistics to this file (empty: disabled)")
 	flag.Parse()
 
 	if *all {
@@ -59,8 +63,8 @@ func run() int {
 		}
 		cases = filtered
 	}
-	opts := bench.Options{Workers: *workers, Seed: *seed}
 	dev := par.NewDevice(*workers)
+	opts := bench.Options{Workers: *workers, Seed: *seed, Dev: dev}
 
 	instances := make([]*bench.Instance, 0, len(cases))
 	fmt.Println("building instances (generate -> double -> resyn2 -> miter):")
@@ -118,5 +122,55 @@ func run() int {
 		fmt.Println("\n=== Figure 7: SAT time on intermediate miters (normalised) ===")
 		fmt.Print(bench.FormatFigure7(rows))
 	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, dev); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		fmt.Printf("\nkernel statistics written to %s\n", *benchJSON)
+	}
 	return 0
+}
+
+// kernelRecord is one row of the machine-readable kernel profile: the
+// launch count, item count and cumulative wall-clock time of a kernel over
+// the whole harness run, so future changes have a perf trajectory to
+// compare against.
+type kernelRecord struct {
+	Name     string `json:"name"`
+	Launches int    `json:"launches"`
+	Items    int64  `json:"items"`
+	TimeNS   int64  `json:"time_ns"`
+	Time     string `json:"time"`
+}
+
+type benchReport struct {
+	Generated string         `json:"generated"`
+	Workers   int            `json:"workers"`
+	Kernels   []kernelRecord `json:"kernels"`
+}
+
+func writeBenchJSON(path string, dev *par.Device) error {
+	stats := dev.Stats()
+	report := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Workers:   dev.Workers(),
+	}
+	for name, ks := range stats {
+		report.Kernels = append(report.Kernels, kernelRecord{
+			Name:     name,
+			Launches: ks.Launches,
+			Items:    ks.Items,
+			TimeNS:   ks.Time.Nanoseconds(),
+			Time:     ks.Time.String(),
+		})
+	}
+	sort.Slice(report.Kernels, func(i, j int) bool {
+		return report.Kernels[i].TimeNS > report.Kernels[j].TimeNS
+	})
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -97,9 +97,19 @@ type Options struct {
 	ConflictLimit int64 // SAT conflict limit of the hybrid's backend
 	// SimConfig overrides the engine configuration (nil: defaults).
 	SimConfig *core.Config
+	// Dev, when non-nil, is the shared parallel device every engine run
+	// dispatches on, so one kernel profile accumulates across the whole
+	// harness run (the machine-readable BENCH_sim.json of benchtab).
+	// When nil, each run gets a fresh device with Workers workers.
+	Dev *par.Device
 }
 
-func (o Options) dev() *par.Device { return par.NewDevice(o.Workers) }
+func (o Options) dev() *par.Device {
+	if o.Dev != nil {
+		return o.Dev
+	}
+	return par.NewDevice(o.Workers)
+}
 
 func (o Options) simConfig(dev *par.Device) core.Config {
 	cfg := core.DefaultConfig()

@@ -36,6 +36,12 @@ type Config struct {
 	// MemBudgetWords caps the exhaustive simulation table (Algorithm 1's
 	// M); the per-entry size E adapts to it.
 	MemBudgetWords int
+	// SimSliceWork approximates the slot·word work of one parallel task
+	// inside the exhaustive simulator; windows above it are split along
+	// the truth-table word dimension so a single huge window still
+	// saturates the device's worker pool. Non-positive selects the
+	// simulator's built-in default.
+	SimSliceWork int
 	// MaxWindowWork caps the simulation effort of a single window in
 	// node·word units (truth-table words × slots). Windows beyond it are
 	// skipped — first retried unmerged, then dropped — which is how the

@@ -60,6 +60,7 @@ func (e *engine) run() {
 		return
 	}
 	e.ex = sim.NewExhaustive(e.cfg.Dev, e.cfg.MemBudgetWords)
+	e.ex.SliceWork = e.cfg.SimSliceWork
 	e.partial = sim.NewPartial(e.cfg.Dev, e.cur.NumPIs(), e.cfg.SimWords, e.cfg.Seed)
 
 	e.phaseP()

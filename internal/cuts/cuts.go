@@ -161,28 +161,30 @@ func (gen *Generator) Run(pass Pass, m *ec.Manager, emit func(PairCuts)) {
 	results := make([]*PairCuts, g.NumNodes())
 	for l := int32(1); l <= maxLevel; l++ {
 		batch := byLevel[l]
-		gen.dev.Launch("cuts.level", len(batch), func(i int) {
-			id := int(batch[i])
-			repr, nonRepr := m.Repr(id)
-			var simTo []Cut
-			if nonRepr && repr != 0 && !gen.cfg.NoSimilarity {
-				simTo = gen.pcuts[repr]
-			}
-			gen.pcuts[id] = gen.enumerateNode(id, pass, simTo)
-			if !nonRepr {
-				return
-			}
-			pair, _ := m.PairOf(id)
-			var common []Cut
-			if repr == 0 {
-				// Candidate constant: any cut of the member works,
-				// since the comparison is against constant zero.
-				common = gen.pcuts[id]
-			} else {
-				common = gen.commonCuts(gen.pcuts[repr], gen.pcuts[id])
-			}
-			if len(common) > 0 {
-				results[id] = &PairCuts{Pair: pair, Cuts: common}
+		gen.dev.LaunchChunked("cuts.level", len(batch), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				id := int(batch[i])
+				repr, nonRepr := m.Repr(id)
+				var simTo []Cut
+				if nonRepr && repr != 0 && !gen.cfg.NoSimilarity {
+					simTo = gen.pcuts[repr]
+				}
+				gen.pcuts[id] = gen.enumerateNode(id, pass, simTo)
+				if !nonRepr {
+					continue
+				}
+				pair, _ := m.PairOf(id)
+				var common []Cut
+				if repr == 0 {
+					// Candidate constant: any cut of the member works,
+					// since the comparison is against constant zero.
+					common = gen.pcuts[id]
+				} else {
+					common = gen.commonCuts(gen.pcuts[repr], gen.pcuts[id])
+				}
+				if len(common) > 0 {
+					results[id] = &PairCuts{Pair: pair, Cuts: common}
+				}
 			}
 		})
 		for _, id := range batch {

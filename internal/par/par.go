@@ -7,6 +7,16 @@
 // has been processed, exactly like a kernel launch followed by a device
 // synchronisation). Per-kernel statistics are recorded so that benchmarks
 // can report launch counts and per-kernel time, mirroring a CUDA profile.
+//
+// The pool is persistent: worker goroutines are created once, on the first
+// parallel launch, and parked between kernels. A launch enqueues a single
+// task descriptor; workers (and the launching goroutine itself, which always
+// participates) claim contiguous index chunks from the task through a
+// lock-free atomic ticket, so the steady-state dispatch cost is one queue
+// append, a few wake-ups and one channel receive — not w goroutine spawns
+// and a WaitGroup as in a naive implementation. Because the launcher drains
+// chunks itself, a kernel body may issue a nested Launch on the same Device
+// without deadlocking even when every pooled worker is busy.
 package par
 
 import (
@@ -23,8 +33,14 @@ import (
 // usable; create one with NewDevice. A Device is safe for concurrent use,
 // although the engine launches kernels from a single control goroutine,
 // matching the single-stream execution model of the paper.
+//
+// Worker goroutines are started lazily on the first parallel launch and
+// live until Close is called; an unreachable Device releases its workers
+// through a finalizer, so short-lived devices (tests, portfolio members)
+// need no explicit cleanup.
 type Device struct {
 	workers int
+	pool    *pool
 
 	mu    sync.Mutex
 	stats map[string]*KernelStats
@@ -43,11 +59,28 @@ func NewDevice(workers int) *Device {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Device{workers: workers, stats: make(map[string]*KernelStats)}
+	d := &Device{workers: workers, stats: make(map[string]*KernelStats)}
+	if workers > 1 {
+		d.pool = newPool(workers)
+		// Workers reference only the inner pool, never the Device, so an
+		// unreachable Device is collectable; the finalizer parks the pool.
+		runtime.SetFinalizer(d, func(d *Device) { d.pool.close() })
+	}
+	return d
 }
 
 // Workers reports the degree of parallelism of the device.
 func (d *Device) Workers() int { return d.workers }
+
+// Close releases the worker goroutines. It is optional — a garbage-collected
+// Device closes itself — and safe to call more than once; launches after
+// Close run on the calling goroutine only.
+func (d *Device) Close() {
+	if d.pool != nil {
+		runtime.SetFinalizer(d, nil)
+		d.pool.close()
+	}
+}
 
 // Launch executes fn for every index in [0, n), in parallel, and returns
 // when all indices have been processed. The name keys the kernel statistics.
@@ -57,7 +90,11 @@ func (d *Device) Workers() int { return d.workers }
 // in the paper.
 func (d *Device) Launch(name string, n int, fn func(i int)) {
 	start := time.Now()
-	d.parallelFor(n, fn)
+	d.parallelRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
 	d.record(name, n, time.Since(start))
 }
 
@@ -83,53 +120,150 @@ func (d *Device) record(name string, n int, dt time.Duration) {
 	d.mu.Unlock()
 }
 
-func (d *Device) parallelFor(n int, fn func(i int)) {
-	d.parallelRange(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			fn(i)
-		}
-	})
-}
-
+// parallelRange distributes [0, n) over the pool in contiguous chunks. The
+// chunk size is floored at n/(w·chunksPerWorker) so uneven per-index cost
+// still balances through dynamic claiming, and the number of woken workers
+// is capped at the number of chunks actually available, so a tiny index
+// space on a wide device neither degrades to per-index atomic traffic nor
+// wakes workers that would find nothing to do.
 func (d *Device) parallelRange(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	w := d.workers
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
+	if w <= 1 || n == 1 || d.pool == nil {
 		fn(0, n)
 		return
 	}
-	// Contiguous chunks, dynamically claimed so uneven per-index cost
-	// (e.g. windows of different size) still balances.
 	const chunksPerWorker = 4
 	chunk := n / (w * chunksPerWorker)
 	if chunk < 1 {
 		chunk = 1
 	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				fn(lo, hi)
-			}
-		}()
+	nchunks := (n + chunk - 1) / chunk
+	if nchunks <= 1 {
+		fn(0, n)
+		return
 	}
-	wg.Wait()
+	t := &task{fn: fn, n: int64(n), chunk: int64(chunk), remaining: int64(n), done: make(chan struct{})}
+	// The launcher claims chunks too, so at most nchunks-1 helpers are
+	// useful; submit caps the wake-ups at the pool size.
+	d.pool.submit(t, nchunks-1)
+	t.run(d.pool)
+	if atomic.LoadInt64(&t.remaining) != 0 {
+		<-t.done
+	}
+}
+
+// task is one kernel launch in flight: a flat index space carved into
+// chunks that are claimed lock-free through the next ticket.
+type task struct {
+	fn        func(lo, hi int)
+	n         int64
+	chunk     int64
+	next      int64 // atomic ticket: prefix of claimed indices
+	remaining int64 // atomic count of indices not yet executed
+	dequeued  int32 // atomic flag: task removed from the pool queue
+	done      chan struct{}
+}
+
+// run claims and executes chunks until the task is exhausted. Whoever
+// observes exhaustion removes the task from the queue; whoever completes
+// the final index closes done.
+func (t *task) run(p *pool) {
+	for {
+		lo := atomic.AddInt64(&t.next, t.chunk) - t.chunk
+		if lo >= t.n {
+			t.dequeue(p)
+			return
+		}
+		hi := lo + t.chunk
+		if hi > t.n {
+			hi = t.n
+		}
+		t.fn(int(lo), int(hi))
+		if atomic.AddInt64(&t.remaining, lo-hi) == 0 {
+			t.dequeue(p)
+			close(t.done)
+			return
+		}
+	}
+}
+
+func (t *task) dequeue(p *pool) {
+	if !atomic.CompareAndSwapInt32(&t.dequeued, 0, 1) {
+		return
+	}
+	p.mu.Lock()
+	for i, q := range p.queue {
+		if q == t {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// pool is the persistent worker set. It is split from Device so that parked
+// workers keep only the pool alive, letting the finalizer on Device fire.
+type pool struct {
+	workers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*task // tasks with unclaimed chunks, oldest first
+	started bool
+	closed  bool
+}
+
+func newPool(workers int) *pool {
+	p := &pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// submit enqueues a task and wakes up to wake workers (capped at the pool
+// size), spawning the workers on first use.
+func (p *pool) submit(t *task, wake int) {
+	p.mu.Lock()
+	if !p.started && !p.closed {
+		p.started = true
+		for i := 0; i < p.workers; i++ {
+			go p.worker()
+		}
+	}
+	p.queue = append(p.queue, t)
+	if wake >= p.workers {
+		p.cond.Broadcast()
+	} else {
+		for i := 0; i < wake; i++ {
+			p.cond.Signal()
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 { // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.mu.Unlock()
+		t.run(p)
+	}
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // Stats returns a copy of the per-kernel statistics accumulated so far.

@@ -1,0 +1,47 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkDeviceLaunch measures the fixed cost of one kernel launch with a
+// cheap per-index body — the dispatch overhead the persistent pool is meant
+// to amortise (the seed implementation spawns w goroutines per launch).
+func BenchmarkDeviceLaunch(b *testing.B) {
+	d := NewDevice(4)
+	sink := make([]int64, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch("bench.launch", len(sink), func(j int) { sink[j]++ })
+	}
+}
+
+// BenchmarkDeviceLaunchChunked is the same dispatch cost through the
+// contiguous-range entry point.
+func BenchmarkDeviceLaunchChunked(b *testing.B) {
+	d := NewDevice(4)
+	sink := make([]int64, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.LaunchChunked("bench.chunked", len(sink), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sink[j]++
+			}
+		})
+	}
+}
+
+// BenchmarkDeviceLaunchTiny exercises the degenerate shape the chunk-sizing
+// fix targets: a tiny index space on a wide device.
+func BenchmarkDeviceLaunchTiny(b *testing.B) {
+	d := NewDevice(32)
+	var sink int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch("bench.tiny", 48, func(j int) { atomic.AddInt64(&sink, 1) })
+	}
+}

@@ -107,6 +107,91 @@ func TestWorkerCapExceedsN(t *testing.T) {
 	}
 }
 
+func TestNestedLaunchDoesNotDeadlock(t *testing.T) {
+	// A kernel body may launch a nested kernel on the same device. The
+	// persistent pool must not deadlock even when the outer launch
+	// occupies every worker: the launching goroutine always participates
+	// in draining its own task, so progress is guaranteed.
+	d := NewDevice(4)
+	var total int64
+	d.Launch("outer", 8, func(i int) {
+		d.Launch("inner", 100, func(j int) {
+			atomic.AddInt64(&total, 1)
+		})
+	})
+	if total != 800 {
+		t.Fatalf("nested launches executed %d inner indices, want 800", total)
+	}
+	s := d.Stats()
+	if s["outer"].Launches != 1 || s["inner"].Launches != 8 || s["inner"].Items != 800 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDeeplyNestedLaunch(t *testing.T) {
+	d := NewDevice(2)
+	var total int64
+	d.Launch("l0", 4, func(int) {
+		d.Launch("l1", 4, func(int) {
+			d.Launch("l2", 16, func(int) { atomic.AddInt64(&total, 1) })
+		})
+	})
+	if total != 4*4*16 {
+		t.Fatalf("total = %d, want %d", total, 4*4*16)
+	}
+}
+
+func TestCloseThenLaunch(t *testing.T) {
+	// Close parks the workers; later launches still execute every index
+	// (serially, on the calling goroutine) and Close is idempotent.
+	d := NewDevice(4)
+	var n int64
+	d.Launch("before", 64, func(int) { atomic.AddInt64(&n, 1) })
+	d.Close()
+	d.Close()
+	d.Launch("after", 64, func(int) { atomic.AddInt64(&n, 1) })
+	if n != 128 {
+		t.Fatalf("executed %d indices, want 128", n)
+	}
+}
+
+func TestLaunchChunkedTinyOnWideDevice(t *testing.T) {
+	// n far below workers*chunksPerWorker: every index still runs exactly
+	// once and ranges stay contiguous and disjoint.
+	d := NewDevice(64)
+	const n = 13
+	seen := make([]int32, n)
+	d.LaunchChunked("tinywide", n, func(lo, hi int) {
+		if lo >= hi || hi > n {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d processed %d times", i, c)
+		}
+	}
+}
+
+func TestManyLaunchesReusePool(t *testing.T) {
+	// The persistent pool must survive thousands of back-to-back barriers
+	// (the per-launch goroutine-spawn pattern this replaces).
+	d := NewDevice(4)
+	var sum int64
+	for k := 0; k < 2000; k++ {
+		d.Launch("reuse", 32, func(i int) { atomic.AddInt64(&sum, 1) })
+	}
+	if sum != 2000*32 {
+		t.Fatalf("sum = %d", sum)
+	}
+	if s := d.Stats()["reuse"]; s.Launches != 2000 {
+		t.Fatalf("launches = %d", s.Launches)
+	}
+}
+
 func contains(s, sub string) bool {
 	for i := 0; i+len(sub) <= len(s); i++ {
 		if s[i:i+len(sub)] == sub {

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"simsweep/internal/aig"
 	"simsweep/internal/par"
@@ -46,10 +48,30 @@ type Result struct {
 // chosen on the fly as the largest power of two such that E·N ≤ M for N
 // total slots, and simulation proceeds in rounds over truth-table word
 // ranges [rE, (r+1)E).
+//
+// Parallelism is organised around the cross-window dimension: each round
+// dispatches one kernel whose tasks are whole windows (windows are
+// independent, so no inter-window barrier exists), and a window whose
+// slot·word work exceeds SliceWork is split along the truth-table word
+// dimension so a single huge window still saturates the device. Inside a
+// task, nodes simulate in ascending-id order — a topological schedule for
+// free, since AIG ids are topological — and each pair is compared as soon
+// as both of its roots are simulated, so a window whose last pair is
+// refuted stops simulating mid-round.
 type Exhaustive struct {
 	Dev         *par.Device
 	BudgetWords int
+	// SliceWork approximates the slot·word work of one dispatched task;
+	// windows above it are split along the word dimension. A non-positive
+	// value selects the built-in default.
+	SliceWork int
+
+	scratch sync.Pool // *batchScratch: per-batch buffers, reused
 }
+
+// defaultSliceWork is the per-task slot·word granularity above which a
+// window is sliced along the truth-table word dimension.
+const defaultSliceWork = 1 << 15
 
 // NewExhaustive returns a checker over dev with the given memory budget in
 // words (a non-positive budget selects 1<<22 words, 32 MiB).
@@ -60,16 +82,90 @@ func NewExhaustive(dev *par.Device, budgetWords int) *Exhaustive {
 	return &Exhaustive{Dev: dev, BudgetWords: budgetWords}
 }
 
+// winPair is the per-window precomputation of one candidate pair.
+type winPair struct {
+	pi      int32 // index into the batch pair slice
+	slotA   int32 // window-local slot of root A; -1 for constant zero
+	slotB   int32 // window-local slot of root B
+	ready   int32 // window nodes that must simulate before comparing
+	compl   bool
+	dead    bool  // refuted in an earlier resolution step
+	claimed int32 // atomic claim flag for word-sliced rounds
+}
+
 // winState is the per-window precomputation for a batch.
 type winState struct {
 	win     *Window
-	base    int // first slot offset in the simulation table
-	slotOf  map[int32]int32
-	fanin   [][2]int32 // per node: fanin slots
-	compl   [][2]bool  // per node: fanin complement flags
-	levels  []int32    // per node: window-topological level
-	ttWords int
-	alive   int // unresolved pairs
+	base    int32 // first slot offset in the simulation table
+	nIn     int32
+	ttWords int32
+	fan     []int32   // per node: two fanins as local slot<<1 | compl
+	pairs   []winPair // sorted by ascending ready point
+	alive   int32     // unresolved pairs (owned by the resolution step)
+
+	// Shared state of word-sliced rounds: slices count refutations with
+	// aliveAtomic and raise abort once every pair of the window is
+	// refuted, so sibling slices stop simulating mid-round.
+	aliveAtomic int32
+	abort       int32
+}
+
+// simTask is one dispatched unit of a round: a window (or a word-range
+// slice of a large window). Each task is executed by exactly one goroutine,
+// so its mismatch buffer needs no synchronisation; verdicts are applied in
+// a sequential resolution step after the launch, in task order, which keeps
+// results deterministic under parallel execution.
+type simTask struct {
+	st        *winState
+	t0, t1    int32 // word range within the round's [0, E) segment
+	sliced    bool
+	mism      []mismatch
+	simulated int64 // slot·word units actually simulated
+}
+
+// mismatch records the first differing word/bit a task found for a pair.
+type mismatch struct {
+	lp  int32 // index into winState.pairs
+	t   int32 // word offset within the round segment
+	bit int8
+}
+
+// batchScratch holds the reusable buffers of one CheckBatch call.
+type batchScratch struct {
+	slot   []int32 // dense node-id -> window-local slot map
+	simt   []uint64
+	fan    []int32
+	wpairs []winPair
+	states []winState
+	tasks  []simTask
+}
+
+func (e *Exhaustive) getScratch() *batchScratch {
+	if sc, ok := e.scratch.Get().(*batchScratch); ok {
+		return sc
+	}
+	return &batchScratch{}
+}
+
+func (e *Exhaustive) putScratch(sc *batchScratch) {
+	// Drop object references so pooled buffers do not pin windows or
+	// mismatch buffers from the previous batch.
+	for i := range sc.states {
+		sc.states[i] = winState{}
+	}
+	for i := range sc.tasks {
+		sc.tasks[i] = simTask{}
+	}
+	sc.states = sc.states[:0]
+	sc.tasks = sc.tasks[:0]
+	e.scratch.Put(sc)
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // CheckBatch exhaustively checks all pairs over their windows. Each
@@ -87,46 +183,22 @@ func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Res
 			res.Equal[pi] = true
 		}
 	}
+	if len(windows) == 0 {
+		return res
+	}
 
-	states := make([]*winState, len(windows))
-	totalSlots := 0
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+
+	totalSlots, totalNodes, totalPairs := 0, 0, 0
 	maxTT := 1
-	maxLevel := int32(0)
-	for wi, w := range windows {
-		st := &winState{win: w, base: totalSlots, ttWords: w.TTWords(), alive: len(w.PairIdx)}
+	for _, w := range windows {
 		totalSlots += w.NumSlots()
-		if st.ttWords > maxTT {
-			maxTT = st.ttWords
+		totalNodes += len(w.Nodes)
+		totalPairs += len(w.PairIdx)
+		if tw := w.TTWords(); tw > maxTT {
+			maxTT = tw
 		}
-		st.slotOf = make(map[int32]int32, w.NumSlots())
-		for j, id := range w.Inputs {
-			st.slotOf[id] = int32(j)
-		}
-		for j, id := range w.Nodes {
-			st.slotOf[id] = int32(len(w.Inputs) + j)
-		}
-		st.fanin = make([][2]int32, len(w.Nodes))
-		st.compl = make([][2]bool, len(w.Nodes))
-		st.levels = make([]int32, len(w.Nodes))
-		for j, id := range w.Nodes {
-			f0, f1 := g.Fanins(int(id))
-			s0, s1 := st.slotOf[int32(f0.ID())], st.slotOf[int32(f1.ID())]
-			st.fanin[j] = [2]int32{s0, s1}
-			st.compl[j] = [2]bool{f0.IsCompl(), f1.IsCompl()}
-			lv := int32(0)
-			for _, fs := range st.fanin[j] {
-				if int(fs) >= len(w.Inputs) {
-					if l := st.levels[int(fs)-len(w.Inputs)]; l > lv {
-						lv = l
-					}
-				}
-			}
-			st.levels[j] = lv + 1
-			if st.levels[j] > maxLevel {
-				maxLevel = st.levels[j]
-			}
-		}
-		states[wi] = st
 	}
 	if totalSlots == 0 {
 		totalSlots = 1
@@ -138,130 +210,278 @@ func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Res
 	for E*2*totalSlots <= e.BudgetWords && E*2 <= maxTT {
 		E *= 2
 	}
-	simt := make([]uint64, totalSlots*E)
+	if cap(sc.simt) < totalSlots*E {
+		sc.simt = make([]uint64, totalSlots*E)
+	}
+	simt := sc.simt[:totalSlots*E]
 
-	// Flatten (window, node) jobs by window level for the level-parallel
-	// dimension, and (window, input) jobs for seeding.
-	type job struct{ win, idx int32 }
-	levelJobs := make([][]job, maxLevel+1)
-	var inputJobs []job
-	for wi, st := range states {
-		for j := range st.win.Nodes {
-			l := st.levels[j]
-			levelJobs[l] = append(levelJobs[l], job{int32(wi), int32(j)})
+	// Per-window setup, sequential: the dense slot scratch maps node ids
+	// to window-local slots. Entries are overwritten window by window;
+	// every id consulted for a window was written for that same window
+	// first, so no clearing between windows is needed.
+	slot := growI32(sc.slot, g.NumNodes())
+	sc.slot = slot
+	fan := growI32(sc.fan, 2*totalNodes)
+	sc.fan = fan
+	if cap(sc.wpairs) < totalPairs {
+		sc.wpairs = make([]winPair, totalPairs)
+	}
+	wpairs := sc.wpairs[:totalPairs]
+	if cap(sc.states) < len(windows) {
+		sc.states = make([]winState, len(windows))
+	}
+	states := sc.states[:len(windows)]
+
+	base, fo, po := int32(0), 0, 0
+	for wi, w := range windows {
+		st := &states[wi]
+		*st = winState{
+			win:     w,
+			base:    base,
+			nIn:     int32(len(w.Inputs)),
+			ttWords: int32(w.TTWords()),
+			alive:   int32(len(w.PairIdx)),
 		}
-		for j := range st.win.Inputs {
-			inputJobs = append(inputJobs, job{int32(wi), int32(j)})
+		for j, id := range w.Inputs {
+			slot[id] = int32(j)
 		}
+		for j, id := range w.Nodes {
+			slot[id] = st.nIn + int32(j)
+		}
+		st.fan = fan[fo : fo+2*len(w.Nodes)]
+		for j, id := range w.Nodes {
+			f0, f1 := g.Fanins(int(id))
+			c0, c1 := int32(0), int32(0)
+			if f0.IsCompl() {
+				c0 = 1
+			}
+			if f1.IsCompl() {
+				c1 = 1
+			}
+			st.fan[2*j] = slot[f0.ID()]<<1 | c0
+			st.fan[2*j+1] = slot[f1.ID()]<<1 | c1
+		}
+		fo += 2 * len(w.Nodes)
+		st.pairs = wpairs[po : po+len(w.PairIdx)]
+		for k, pi := range w.PairIdx {
+			p := pairs[pi]
+			wp := &st.pairs[k]
+			*wp = winPair{pi: pi, slotB: slot[p.B], slotA: -1, compl: p.Compl}
+			if r := wp.slotB - st.nIn + 1; r > wp.ready {
+				wp.ready = r
+			}
+			if p.A != 0 {
+				wp.slotA = slot[p.A]
+				if r := wp.slotA - st.nIn + 1; r > wp.ready {
+					wp.ready = r
+				}
+			}
+		}
+		sortPairsByReady(st.pairs)
+		po += len(w.PairIdx)
+		base += int32(w.NumSlots())
+	}
+
+	sliceWork := e.SliceWork
+	if sliceWork <= 0 {
+		sliceWork = defaultSliceWork
 	}
 
 	rounds := (maxTT + E - 1) / E
-	active := make([]bool, len(states))
+	tasks := sc.tasks[:0]
 	for r := 0; r < rounds; r++ {
-		anyActive := false
-		for wi, st := range states {
-			active[wi] = st.alive > 0 && st.ttWords > r*E
-			anyActive = anyActive || active[wi]
+		// Build the round's task list: one task per active window, or
+		// several word-range slices for windows above the slice budget.
+		tasks = tasks[:0]
+		for wi := range states {
+			st := &states[wi]
+			if st.alive <= 0 || int(st.ttWords) <= r*E {
+				continue
+			}
+			nslices := 1
+			if work := st.win.NumSlots() * E; work > sliceWork && E > 1 {
+				nslices = (work + sliceWork - 1) / sliceWork
+				if nslices > E {
+					nslices = E
+				}
+			}
+			if nslices == 1 {
+				tasks = append(tasks, simTask{st: st, t0: 0, t1: int32(E)})
+				continue
+			}
+			st.aliveAtomic = st.alive
+			st.abort = 0
+			for k := range st.pairs {
+				st.pairs[k].claimed = 0
+			}
+			step := (E + nslices - 1) / nslices
+			for t0 := 0; t0 < E; t0 += step {
+				t1 := t0 + step
+				if t1 > E {
+					t1 = E
+				}
+				tasks = append(tasks, simTask{st: st, t0: int32(t0), t1: int32(t1), sliced: true})
+			}
 		}
-		if !anyActive {
+		if len(tasks) == 0 {
 			break
 		}
 		res.Rounds++
 
-		// Seed projection-table segments at the window inputs (line 9).
-		e.Dev.Launch("exhaustive.seed", len(inputJobs), func(i int) {
-			jb := inputJobs[i]
-			st := states[jb.win]
-			if !active[jb.win] {
-				return
-			}
-			off := (st.base + int(jb.idx)) * E
-			for t := 0; t < E; t++ {
-				simt[off+t] = tt.ProjectionWord(int(jb.idx), r*E+t)
+		// One launch per round over independent window tasks — the
+		// cross-window dimension needs no inter-window barrier, and the
+		// word-level and level-wise dimensions run inside each task.
+		rr := r
+		e.Dev.LaunchChunked("exhaustive.window", len(tasks), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				tasks[i].run(simt, E, rr)
 			}
 		})
 
-		// Level-wise parallel node simulation (lines 10-11).
-		for l := int32(1); l <= maxLevel; l++ {
-			batch := levelJobs[l]
-			if len(batch) == 0 {
-				continue
-			}
-			e.Dev.Launch("exhaustive.level", len(batch), func(i int) {
-				jb := batch[i]
-				st := states[jb.win]
-				if !active[jb.win] {
-					return
-				}
-				j := int(jb.idx)
-				s0 := (st.base + int(st.fanin[j][0])) * E
-				s1 := (st.base + int(st.fanin[j][1])) * E
-				dst := (st.base + len(st.win.Inputs) + j) * E
-				m0, m1 := uint64(0), uint64(0)
-				if st.compl[j][0] {
-					m0 = ^uint64(0)
-				}
-				if st.compl[j][1] {
-					m1 = ^uint64(0)
-				}
-				for t := 0; t < E; t++ {
-					simt[dst+t] = (simt[s0+t] ^ m0) & (simt[s1+t] ^ m1)
-				}
-			})
-		}
-		for wi, st := range states {
-			if active[wi] {
-				res.WordsSimulated += int64(st.win.NumSlots()) * int64(E)
-			}
-		}
-
-		// Compare the truth-table segments of every unresolved pair
-		// (lines 12-14).
-		e.Dev.Launch("exhaustive.compare", len(states), func(wi int) {
-			if !active[wi] {
-				return
-			}
-			st := states[wi]
-			for _, pi := range st.win.PairIdx {
-				if !res.Equal[pi] {
+		// Sequential resolution in task order (windows ascending, word
+		// ranges ascending): verdicts and counter-examples are identical
+		// to a serial sweep regardless of execution interleaving.
+		for i := range tasks {
+			tk := &tasks[i]
+			res.WordsSimulated += tk.simulated
+			st := tk.st
+			for _, m := range tk.mism {
+				wp := &st.pairs[m.lp]
+				if wp.dead {
 					continue
 				}
-				p := pairs[pi]
-				if mism, t, bit := st.compare(simt, E, p); mism {
-					res.Equal[pi] = false
-					st.alive--
-					res.CEXs[pi] = st.decodeCEX(uint64(r*E+t)*64 + uint64(bit))
-				}
+				wp.dead = true
+				st.alive--
+				res.Equal[wp.pi] = false
+				res.CEXs[wp.pi] = st.decodeCEX(uint64(rr*E+int(m.t))*64 + uint64(m.bit))
 			}
-		})
+		}
 	}
+	sc.tasks = tasks
 	return res
 }
 
-// compare scans the E-word segments of the pair's roots and returns the
-// first mismatching word offset and bit, if any. A root id of 0 compares
-// against constant zero.
-func (st *winState) compare(simt []uint64, E int, p Pair) (bool, int, int) {
-	mask := uint64(0)
-	if p.Compl {
-		mask = ^uint64(0)
+// run seeds, simulates and compares one window (or word slice) for one
+// round. Nodes simulate in ascending slot order; each pair compares at its
+// ready point, and simulation stops as soon as no undecided pair needs
+// further node values.
+func (tk *simTask) run(simt []uint64, E, r int) {
+	st := tk.st
+	base := int(st.base)
+	nIn := int(st.nIn)
+	t0, t1 := int(tk.t0), int(tk.t1)
+
+	// Seed projection-table segments at the window inputs (Algorithm 1
+	// line 9): generated arithmetically, never materialised in full.
+	for j := 0; j < nIn; j++ {
+		off := (base + j) * E
+		for t := t0; t < t1; t++ {
+			simt[off+t] = tt.ProjectionWord(j, r*E+t)
+		}
 	}
-	offB := (st.base + int(st.slotOf[p.B])) * E
-	if p.A == 0 {
-		for t := 0; t < E; t++ {
-			if v := simt[offB+t] ^ mask; v != 0 {
-				return true, t, bits.TrailingZeros64(v)
+
+	// uncompared counts the pairs still awaiting their ready point;
+	// maxReady is the node prefix the surviving pairs actually need.
+	uncompared := 0
+	maxReady := int32(0)
+	for k := range st.pairs {
+		if !st.pairs[k].dead {
+			uncompared++
+			if st.pairs[k].ready > maxReady {
+				maxReady = st.pairs[k].ready
 			}
 		}
-		return false, 0, 0
 	}
-	offA := (st.base + int(st.slotOf[p.A])) * E
-	for t := 0; t < E; t++ {
-		if v := simt[offA+t] ^ simt[offB+t] ^ mask; v != 0 {
-			return true, t, bits.TrailingZeros64(v)
+	next := 0
+	uncompared -= tk.compareReady(simt, E, &next, 0)
+
+	nodesDone := 0
+	for j := 0; j < int(maxReady) && uncompared > 0; j++ {
+		f0 := st.fan[2*j]
+		f1 := st.fan[2*j+1]
+		s0 := (base + int(f0>>1)) * E
+		s1 := (base + int(f1>>1)) * E
+		dst := (base + nIn + j) * E
+		m0 := -uint64(f0 & 1)
+		m1 := -uint64(f1 & 1)
+		for t := t0; t < t1; t++ {
+			simt[dst+t] = (simt[s0+t] ^ m0) & (simt[s1+t] ^ m1)
+		}
+		nodesDone++
+		uncompared -= tk.compareReady(simt, E, &next, int32(j+1))
+		if tk.sliced && j&63 == 63 && atomic.LoadInt32(&st.abort) != 0 {
+			break // every pair refuted by sibling slices: stop mid-round
 		}
 	}
-	return false, 0, 0
+	tk.simulated = int64(nIn+nodesDone) * int64(t1-t0)
+}
+
+// compareReady compares every not-yet-compared pair whose ready point has
+// been reached and returns how many live pairs it compared. Mismatches are
+// recorded locally; sliced tasks additionally claim the refutation so the
+// window can abort once no pair is left alive.
+func (tk *simTask) compareReady(simt []uint64, E int, next *int, ready int32) int {
+	st := tk.st
+	compared := 0
+	for *next < len(st.pairs) && st.pairs[*next].ready <= ready {
+		lp := *next
+		*next++
+		wp := &st.pairs[lp]
+		if wp.dead {
+			continue
+		}
+		compared++
+		t, bit, mism := tk.comparePair(simt, E, wp)
+		if !mism {
+			continue
+		}
+		tk.mism = append(tk.mism, mismatch{lp: int32(lp), t: int32(t), bit: int8(bit)})
+		if tk.sliced && atomic.CompareAndSwapInt32(&wp.claimed, 0, 1) {
+			if atomic.AddInt32(&st.aliveAtomic, -1) == 0 {
+				atomic.StoreInt32(&st.abort, 1)
+			}
+		}
+	}
+	return compared
+}
+
+// comparePair scans the task's word range of the pair's root segments and
+// returns the first mismatching word offset and bit, if any. A slotA of -1
+// compares against constant zero.
+func (tk *simTask) comparePair(simt []uint64, E int, wp *winPair) (int, int, bool) {
+	st := tk.st
+	base := int(st.base)
+	t0, t1 := int(tk.t0), int(tk.t1)
+	mask := uint64(0)
+	if wp.compl {
+		mask = ^uint64(0)
+	}
+	offB := (base + int(wp.slotB)) * E
+	if wp.slotA < 0 {
+		for t := t0; t < t1; t++ {
+			if v := simt[offB+t] ^ mask; v != 0 {
+				return t, bits.TrailingZeros64(v), true
+			}
+		}
+		return 0, 0, false
+	}
+	offA := (base + int(wp.slotA)) * E
+	for t := t0; t < t1; t++ {
+		if v := simt[offA+t] ^ simt[offB+t] ^ mask; v != 0 {
+			return t, bits.TrailingZeros64(v), true
+		}
+	}
+	return 0, 0, false
+}
+
+// sortPairsByReady is a stable insertion sort (pair lists are tiny, and
+// stability keeps resolution order deterministic).
+func sortPairsByReady(ps []winPair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j-1].ready > ps[j].ready; j-- {
+			ps[j-1], ps[j] = ps[j], ps[j-1]
+		}
+	}
 }
 
 // decodeCEX converts a truth-table bit index into an input assignment: bit

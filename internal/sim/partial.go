@@ -140,22 +140,24 @@ func (p *Partial) Simulate(g *aig.AIG) [][]uint64 {
 	}
 	for l := int32(1); l <= maxLevel; l++ {
 		batch := byLevel[l]
-		p.dev.Launch("partial.level", len(batch), func(i int) {
-			id := int(batch[i])
-			f0, f1 := g.Fanins(id)
-			s0 := simOf(f0.ID())
-			s1 := simOf(f1.ID())
-			dst := simOf(id)
-			m0 := uint64(0)
-			if f0.IsCompl() {
-				m0 = ^uint64(0)
-			}
-			m1 := uint64(0)
-			if f1.IsCompl() {
-				m1 = ^uint64(0)
-			}
-			for w := 0; w < W; w++ {
-				dst[w] = (s0[w] ^ m0) & (s1[w] ^ m1)
+		p.dev.LaunchChunked("partial.level", len(batch), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				id := int(batch[i])
+				f0, f1 := g.Fanins(id)
+				s0 := simOf(f0.ID())
+				s1 := simOf(f1.ID())
+				dst := simOf(id)
+				m0 := uint64(0)
+				if f0.IsCompl() {
+					m0 = ^uint64(0)
+				}
+				m1 := uint64(0)
+				if f1.IsCompl() {
+					m1 = ^uint64(0)
+				}
+				for w := 0; w < W; w++ {
+					dst[w] = (s0[w] ^ m0) & (s1[w] ^ m1)
+				}
 			}
 		})
 	}
