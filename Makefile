@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench benchtab
+.PHONY: build test race service-race bench benchtab bench-service
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,18 @@ test:
 race:
 	$(GO) test -race ./internal/par/... ./internal/sim/...
 
+# Race-detector pass over the service layer: the job queue/scheduler, the
+# result cache and the HTTP daemon's end-to-end test.
+service-race:
+	$(GO) test -race ./internal/service/... ./cmd/cecd/...
+
 bench:
 	$(GO) test -bench 'BenchmarkExhaustiveCheckBatch|BenchmarkDeviceLaunch' -benchmem ./internal/par/ ./internal/sim/
+
+# Replay a generated-miter workload through the service layer and write
+# throughput + cache hit rate to BENCH_service.json.
+bench-service:
+	$(GO) run ./cmd/benchtab -service
 
 benchtab:
 	$(GO) run ./cmd/benchtab -all

@@ -5,6 +5,8 @@
 //	benchtab -fig 6          Figure 6  (engine phase breakdown)
 //	benchtab -fig 7          Figure 7  (SAT time on P/PG/PGL miters)
 //	benchtab -all            everything
+//	benchtab -service        service-layer throughput + cache hit rate
+//	                         (BENCH_service.json)
 //
 // -size scales the instances (1 = quick, 2 = larger); -only restricts to a
 // comma-separated list of families.
@@ -37,8 +39,19 @@ func run() int {
 	workers := flag.Int("workers", 0, "parallel workers (0: all CPUs)")
 	seed := flag.Int64("seed", 1, "random simulation seed")
 	benchJSON := flag.String("benchjson", "BENCH_sim.json", "write per-kernel device statistics to this file (empty: disabled)")
+	svcBench := flag.Bool("service", false, "benchmark the service layer (queue+scheduler+cache) instead of the engines")
+	svcJSON := flag.String("servicejson", "BENCH_service.json", "service benchmark report path")
+	svcJobs := flag.Int("service-jobs", 2, "concurrent jobs (K) for -service")
+	svcRounds := flag.Int("service-rounds", 3, "workload replay rounds for -service (round 1 misses, later rounds hit the cache)")
 	flag.Parse()
 
+	if *svcBench {
+		if err := runServiceBench(*svcJSON, *svcJobs, *workers, *svcRounds); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		return 0
+	}
 	if *all {
 		*table = 2
 		*fig = 67

@@ -1,0 +1,165 @@
+package main
+
+// Service-layer benchmark: replays a workload of generated miter pairs
+// through an in-process service instance (the same scheduler, queue and
+// cache cmd/cecd serves over HTTP) and reports end-to-end throughput and
+// the cache hit rate into BENCH_service.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"simsweep"
+	"simsweep/internal/service"
+)
+
+// serviceWorkload is the set of distinct pairs replayed each round: small
+// enough that a full run stays in seconds, varied enough that the verdict
+// mix exercises both equivalent and buggy submissions.
+var serviceWorkload = []struct {
+	family string
+	scale  int
+	buggy  bool
+}{
+	{"adder", 8, false},
+	{"adder", 12, false},
+	{"multiplier", 4, false},
+	{"multiplier", 5, false},
+	{"barrel", 4, false},
+	{"voter", 1, false},
+	{"adder", 10, true},
+	{"multiplier", 4, true},
+}
+
+type serviceReport struct {
+	Generated     string  `json:"generated"`
+	Jobs          int     `json:"jobs"`
+	DistinctPairs int     `json:"distinct_pairs"`
+	Rounds        int     `json:"rounds"`
+	Concurrent    int     `json:"concurrent"`
+	Workers       int     `json:"workers"`
+	WallNS        int64   `json:"wall_ns"`
+	Wall          string  `json:"wall"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+// runServiceBench submits every workload pair `rounds` times — the first
+// round populates the cache, later rounds replay it — and measures
+// wall-clock throughput across all submissions.
+func runServiceBench(path string, jobs, workers int, rounds int) error {
+	type pair struct{ a, b *simsweep.AIG }
+	pairs := make([]pair, 0, len(serviceWorkload))
+	fmt.Println("service bench: building workload pairs:")
+	for _, w := range serviceWorkload {
+		g, err := simsweep.Generate(w.family, w.scale)
+		if err != nil {
+			// Families vary by build; skip rather than fail the bench.
+			fmt.Printf("  %-12s scale %-2d skipped: %v\n", w.family, w.scale, err)
+			continue
+		}
+		h := simsweep.Optimize(g)
+		if w.buggy {
+			h.SetPO(0, h.PO(0).Not())
+		}
+		fmt.Printf("  %-12s scale %-2d buggy=%-5v %s\n", w.family, w.scale, w.buggy, g.Stats())
+		pairs = append(pairs, pair{g, h})
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("service bench: no workload pairs built")
+	}
+
+	svc := service.New(service.Config{
+		MaxConcurrent: jobs,
+		TotalWorkers:  workers,
+		QueueCap:      len(pairs) + 1,
+		Log:           nil,
+	})
+	defer svc.Close()
+
+	submit := func(p pair) (string, error) {
+		for {
+			j, err := svc.Submit(service.Request{A: p.a, B: p.b})
+			if err == service.ErrQueueFull {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			return j.ID, err
+		}
+	}
+	wait := func(ids []string) error {
+		for _, id := range ids {
+			for {
+				j, err := svc.Get(id)
+				if err != nil {
+					return err
+				}
+				if j.State.Terminal() {
+					if j.State != service.StateDone {
+						return fmt.Errorf("job %s finished %s (%s)", id, j.State, j.Err)
+					}
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return nil
+	}
+
+	start := time.Now()
+	total := 0
+	for r := 0; r < rounds; r++ {
+		ids := make([]string, 0, len(pairs))
+		for _, p := range pairs {
+			id, err := submit(p)
+			if err != nil {
+				return err
+			}
+			ids = append(ids, id)
+		}
+		// A barrier between rounds so replayed rounds hit the cache the
+		// way a re-run regression workload would.
+		if err := wait(ids); err != nil {
+			return err
+		}
+		total += len(ids)
+		fmt.Printf("service bench: round %d/%d done (%d jobs)\n", r+1, rounds, total)
+	}
+	wall := time.Since(start)
+
+	st := svc.Stats()
+	report := serviceReport{
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		Jobs:          total,
+		DistinctPairs: len(pairs),
+		Rounds:        rounds,
+		Concurrent:    st.Concurrent,
+		Workers:       st.Workers,
+		WallNS:        wall.Nanoseconds(),
+		Wall:          wall.String(),
+		JobsPerSec:    float64(total) / wall.Seconds(),
+		CacheHits:     st.CacheHits,
+		CacheMisses:   st.CacheMisses,
+		P50MS:         float64(st.P50.Microseconds()) / 1e3,
+		P99MS:         float64(st.P99.Microseconds()) / 1e3,
+	}
+	if st.CacheHits+st.CacheMisses > 0 {
+		report.CacheHitRate = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("service bench: %d jobs in %v (%.1f jobs/sec, cache hit rate %.0f%%) -> %s\n",
+		total, wall.Round(time.Millisecond), report.JobsPerSec, report.CacheHitRate*100, path)
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"simsweep"
 )
@@ -31,6 +32,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "parallel workers (0: all CPUs)")
 	seed := flag.Int64("seed", 1, "random simulation seed")
 	conflicts := flag.Int64("C", 0, "SAT conflict limit per call (0: unlimited)")
+	timeout := flag.Duration("timeout", 0, "bound the whole run; a timed-out check exits with status 2 (0: no limit)")
 	verbose := flag.Bool("v", false, "print per-phase statistics")
 	flag.Parse()
 
@@ -39,6 +41,12 @@ func run() int {
 		Workers:       *workers,
 		Seed:          *seed,
 		ConflictLimit: *conflicts,
+	}
+	if *timeout > 0 {
+		stop := make(chan struct{})
+		timer := time.AfterFunc(*timeout, func() { close(stop) })
+		defer timer.Stop()
+		opts.Stop = stop
 	}
 
 	var res simsweep.Result
@@ -83,6 +91,10 @@ func run() int {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cec:", err)
+		return 2
+	}
+	if res.Stopped {
+		fmt.Fprintf(os.Stderr, "cec: timed out after %v (undecided)\n", *timeout)
 		return 2
 	}
 

@@ -1,0 +1,351 @@
+package main
+
+// End-to-end exercise of the daemon over real HTTP: generated miter jobs
+// are submitted to an httptest server running the cecd handler, and the
+// test observes queue admission (never more than K running), a cache hit
+// on a resubmitted pair, one cancellation via DELETE, one via deadline,
+// and verdicts that match direct simsweep checks.
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"simsweep"
+	"simsweep/internal/service"
+)
+
+func b64AIGER(t *testing.T, g *simsweep.AIG) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := simsweep.WriteAIGER(&buf, g, true); err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}
+
+func postJob(t *testing.T, base string, body map[string]interface{}) (service.JobJSON, int) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var j service.JobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decoding submit response (status %d): %v", resp.StatusCode, err)
+	}
+	return j, resp.StatusCode
+}
+
+func getJob(t *testing.T, base, id string) service.JobJSON {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var j service.JobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func waitJob(t *testing.T, base, id string, within time.Duration) service.JobJSON {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		j := getJob(t, base, id)
+		if service.State(j.State).Terminal() {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, j.State, within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+var runningRe = regexp.MustCompile(`(?m)^cecd_running_jobs (\d+)$`)
+
+func runningJobs(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	m := runningRe.FindSubmatch(buf.Bytes())
+	if m == nil {
+		t.Fatalf("metrics missing cecd_running_jobs:\n%s", buf.String())
+	}
+	n, _ := strconv.Atoi(string(m[1]))
+	return n
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	const k = 2
+	svc := service.New(service.Config{MaxConcurrent: k, TotalWorkers: 4})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	// Liveness first.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// Generated workload. Verdict jobs use distinct equivalent pairs plus
+	// one deliberately buggy pair; the cancel and timeout targets use a
+	// larger pair whose SAT sweep runs long enough to interrupt.
+	base, err := simsweep.Generate("multiplier", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := simsweep.Optimize(base)
+	slow, err := simsweep.Generate("multiplier", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowOpt := simsweep.Optimize(slow)
+
+	variant := func(g *simsweep.AIG, i int) *simsweep.AIG {
+		v := g.Copy()
+		v.SetPO(i, v.PO(i).Not())
+		return v
+	}
+
+	type verdictJob struct {
+		a, b *simsweep.AIG
+		id   string
+		want simsweep.Outcome
+	}
+	var vjobs []verdictJob
+	for i := 0; i < 3; i++ {
+		// PO i complemented on both sides: still equivalent, structurally
+		// distinct per i so each is a genuine (uncached) job.
+		vjobs = append(vjobs, verdictJob{a: variant(base, i), b: variant(opt, i)})
+	}
+	// One buggy pair: complemented PO on one side only.
+	vjobs = append(vjobs, verdictJob{a: base, b: variant(opt, 4)})
+
+	// Ground truth from direct in-process checks.
+	for i := range vjobs {
+		res, err := simsweep.CheckEquivalence(vjobs[i].a, vjobs[i].b, simsweep.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vjobs[i].want = res.Outcome
+	}
+
+	// Occupy both runner slots with slow jobs: one to cancel over HTTP,
+	// one to die by its deadline.
+	cancelTarget, status := postJob(t, ts.URL, map[string]interface{}{
+		"a": b64AIGER(t, slow), "b": b64AIGER(t, slowOpt), "engine": "sat",
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit cancel target: status %d", status)
+	}
+	timeoutTarget, status := postJob(t, ts.URL, map[string]interface{}{
+		"a": b64AIGER(t, variant(slow, 0)), "b": b64AIGER(t, variant(slowOpt, 0)),
+		"engine": "sat", "timeout_ms": 150,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit timeout target: status %d", status)
+	}
+
+	// Queue the verdict jobs behind them.
+	for i := range vjobs {
+		j, status := postJob(t, ts.URL, map[string]interface{}{
+			"a": b64AIGER(t, vjobs[i].a), "b": b64AIGER(t, vjobs[i].b),
+		})
+		if status != http.StatusAccepted {
+			t.Fatalf("submit verdict job %d: status %d", i, status)
+		}
+		vjobs[i].id = j.ID
+	}
+
+	// Cancel the first slow job via DELETE once it is demonstrably
+	// running (the SAT sweep on the mult9 pair runs for seconds, so the
+	// DELETE lands while it is mid-flight), sampling the admission gauge
+	// along the way.
+	maxRunning := 0
+	sample := func() {
+		if n := runningJobs(t, ts.URL); n > maxRunning {
+			maxRunning = n
+		}
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		sample()
+		st := service.State(getJob(t, ts.URL, cancelTarget.ID).State)
+		if st == service.StateRunning {
+			break
+		}
+		if st.Terminal() {
+			t.Fatalf("cancel target finished (%s) before it could be cancelled", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancel target never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+cancelTarget.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", dresp.StatusCode)
+	}
+
+	// Wait for everything while watching the running gauge.
+	ids := []string{cancelTarget.ID, timeoutTarget.ID}
+	for _, vj := range vjobs {
+		ids = append(ids, vj.id)
+	}
+	for {
+		sample()
+		done := true
+		for _, id := range ids {
+			if !service.State(getJob(t, ts.URL, id).State).Terminal() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if maxRunning > k {
+		t.Fatalf("admission violated: observed %d running jobs, limit %d", maxRunning, k)
+	}
+	if maxRunning == 0 {
+		t.Fatal("never observed a running job; gauge broken?")
+	}
+
+	// The DELETEd job is cancelled, the deadlined one timed out.
+	if j := getJob(t, ts.URL, cancelTarget.ID); j.State != string(service.StateCancelled) {
+		t.Fatalf("cancel target: state=%s", j.State)
+	}
+	if j := getJob(t, ts.URL, timeoutTarget.ID); j.State != string(service.StateTimeout) {
+		t.Fatalf("timeout target: state=%s", j.State)
+	}
+
+	// Completed verdicts match the direct checks, counter-example included
+	// for the buggy pair.
+	for i, vj := range vjobs {
+		j := getJob(t, ts.URL, vj.id)
+		if j.State != string(service.StateDone) {
+			t.Fatalf("verdict job %d: state=%s (%s)", i, j.State, j.Error)
+		}
+		if j.Verdict != vj.want.String() {
+			t.Fatalf("verdict job %d: daemon says %q, direct check says %q", i, j.Verdict, vj.want)
+		}
+		if vj.want == simsweep.NotEquivalent {
+			if len(j.CEX) == 0 {
+				t.Fatalf("verdict job %d: NotEquivalent without counter-example", i)
+			}
+			cex := make([]bool, len(j.CEX))
+			for b, v := range j.CEX {
+				cex[b] = v == 1
+			}
+			m, err := simsweep.BuildMiter(vj.a, vj.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired := false
+			for _, v := range m.Eval(cex) {
+				fired = fired || v
+			}
+			if !fired {
+				t.Fatalf("verdict job %d: returned CEX does not fire the miter", i)
+			}
+		}
+	}
+
+	// Resubmitting the first pair hits the cache instantly (status 200,
+	// cached flag), as does the argument-swapped pair.
+	hit, status := postJob(t, ts.URL, map[string]interface{}{
+		"a": b64AIGER(t, vjobs[0].a), "b": b64AIGER(t, vjobs[0].b),
+	})
+	if status != http.StatusOK || !hit.Cached || hit.State != string(service.StateDone) {
+		t.Fatalf("resubmission: status=%d cached=%v state=%s", status, hit.Cached, hit.State)
+	}
+	swapped, status := postJob(t, ts.URL, map[string]interface{}{
+		"a": b64AIGER(t, vjobs[0].b), "b": b64AIGER(t, vjobs[0].a),
+	})
+	if status != http.StatusOK || !swapped.Cached {
+		t.Fatalf("(B, A) resubmission: status=%d cached=%v", status, swapped.Cached)
+	}
+
+	// The metrics endpoint accounts for it all.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := mbuf.String()
+	for _, want := range []string{
+		"cecd_cache_hits_total 2",
+		fmt.Sprintf("cecd_jobs_total{state=%q} %d", "done", len(vjobs)+2),
+		"cecd_jobs_total{state=\"cancelled\"} 1",
+		"cecd_jobs_total{state=\"timeout\"} 1",
+		"cecd_max_concurrent 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	svc := service.New(service.Config{MaxConcurrent: 1})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	for name, body := range map[string]map[string]interface{}{
+		"empty":          {},
+		"half a pair":    {"a": "YWFnIDEgMCAwIDEgMAox"},
+		"bad base64":     {"a": "!!!", "b": "!!!"},
+		"bad aiger":      {"a": base64.StdEncoding.EncodeToString([]byte("nonsense")), "b": base64.StdEncoding.EncodeToString([]byte("nonsense"))},
+		"unknown engine": {"miter": "YWFnIDEgMCAwIDEgMAox", "engine": "quantum"},
+	} {
+		_, status := postJob(t, ts.URL, body)
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, status)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", resp.StatusCode)
+	}
+}

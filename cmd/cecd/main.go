@@ -1,0 +1,85 @@
+// Command cecd serves the CEC engines as a long-running HTTP daemon:
+// submitted jobs enter a bounded queue, a scheduler runs K of them
+// concurrently — each on its own parallel device, with the total worker
+// count bounded so the machine is never oversubscribed — and an LRU cache
+// keyed by canonical structural fingerprints answers resubmitted (or
+// argument-swapped) pairs instantly.
+//
+// API:
+//
+//	POST   /v1/jobs      {"a": <b64 AIGER>, "b": <b64 AIGER>} or {"miter": ...}
+//	                     plus optional "engine", "seed", "conflict_limit",
+//	                     "timeout_ms"; responds 202 (200 on a cache hit),
+//	                     429 when the queue is full
+//	GET    /v1/jobs      recent jobs, newest first
+//	GET    /v1/jobs/{id} status, verdict, counter-example, per-job stats
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /healthz      liveness
+//	GET    /metrics      text-format counters (queue depth, running jobs,
+//	                     cache hits/misses, jobs by outcome, p50/p99)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"simsweep/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "localhost:8351", "listen address")
+	jobs := flag.Int("jobs", 2, "jobs running concurrently (K)")
+	workers := flag.Int("workers", 0, "total simulation workers shared by the K jobs (0: GOMAXPROCS)")
+	queueCap := flag.Int("queue", 64, "submission queue capacity (admission control)")
+	cacheSize := flag.Int("cache", 256, "result cache entries")
+	ringSize := flag.Int("ring", 256, "finished jobs retained for GET")
+	defTimeout := flag.Duration("timeout", 0, "default per-job execution deadline (0: none)")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0: uncapped)")
+	quiet := flag.Bool("q", false, "suppress per-job log lines")
+	flag.Parse()
+
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	svc := service.New(service.Config{
+		MaxConcurrent:  *jobs,
+		TotalWorkers:   *workers,
+		QueueCap:       *queueCap,
+		CacheSize:      *cacheSize,
+		RingSize:       *ringSize,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            logw,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
+		defer done()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "cecd: listening on http://%s (K=%d jobs)\n", *addr, *jobs)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cecd:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "cecd: shut down")
+	return 0
+}

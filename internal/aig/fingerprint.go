@@ -1,0 +1,74 @@
+package aig
+
+// Fingerprint returns a canonical structural hash of the AIG: a
+// 64-bit digest of the strashed DAG reachable from the primary outputs
+// plus the PI/PO interface signature.
+//
+// The hash is computed bottom-up per node from fanin hashes, with the two
+// AND fanins combined commutatively, so it does not depend on node ids —
+// two AIGs built in different node (creation) orders but describing the
+// same strashed structure have equal fingerprints. It does depend on the
+// interface: PI positions, PO order and edge complementations all enter
+// the digest, and restructuring the logic (e.g. opt.Resyn2) changes it.
+// Nodes not in any PO cone do not contribute.
+//
+// The result-cache of the service layer keys on fingerprints, combining
+// the two circuit hashes of a (A, B) request symmetrically so (B, A)
+// resubmissions hit the same entry.
+func (g *AIG) Fingerprint() uint64 {
+	h := make([]uint64, len(g.nodes))
+	h[0] = mix64(fpTagConst)
+	for i, id := range g.pis {
+		h[id] = mix2(fpTagPI, uint64(i))
+	}
+	// Ascending id is a topological order, so fanin hashes are ready.
+	for id := 1; id < len(g.nodes); id++ {
+		n := g.nodes[id]
+		if n.f0 == litInvalid {
+			continue
+		}
+		a := litHash(h, n.f0)
+		b := litHash(h, n.f1)
+		if a > b {
+			a, b = b, a
+		}
+		h[id] = mix3(fpTagAnd, a, b)
+	}
+	fp := mix2(fpTagRoot, uint64(len(g.pis))<<32|uint64(len(g.pos)))
+	for _, po := range g.pos {
+		fp = mix2(fp, litHash(h, po))
+	}
+	return fp
+}
+
+// litHash folds the complement attribute of a literal into its node hash.
+func litHash(h []uint64, l Lit) uint64 {
+	v := h[l.ID()]
+	if l.IsCompl() {
+		v = mix2(fpTagNot, v)
+	}
+	return v
+}
+
+// Domain-separation tags for the fingerprint hash.
+const (
+	fpTagConst = 0x9e3779b97f4a7c15
+	fpTagPI    = 0xbf58476d1ce4e5b9
+	fpTagAnd   = 0x94d049bb133111eb
+	fpTagNot   = 0xd6e8feb86659fd93
+	fpTagRoot  = 0xa5a5a5a55a5a5a5a
+)
+
+// mix64 is the splitmix64 finalizer: a strong 64-bit bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func mix2(a, b uint64) uint64 { return mix64(mix64(a) + 0x9e3779b97f4a7c15*b) }
+
+func mix3(a, b, c uint64) uint64 { return mix2(mix2(a, b), c) }

@@ -1,0 +1,105 @@
+package aig_test
+
+import (
+	"testing"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/gen"
+	"simsweep/internal/opt"
+)
+
+// buildDiamond constructs (a∧b) ∨ (c∧d), creating the two AND subterms in
+// the given order so the two variants have different node ids for the same
+// strashed structure.
+func buildDiamond(leftFirst bool) *aig.AIG {
+	g := aig.New()
+	a, b, c, d := g.AddPI(), g.AddPI(), g.AddPI(), g.AddPI()
+	var l, r aig.Lit
+	if leftFirst {
+		l = g.And(a, b)
+		r = g.And(c, d)
+	} else {
+		r = g.And(c, d)
+		l = g.And(a, b)
+	}
+	g.AddPO(g.Or(l, r))
+	return g
+}
+
+func TestFingerprintNodeOrderInvariant(t *testing.T) {
+	g1, g2 := buildDiamond(true), buildDiamond(false)
+	if f1, f2 := g1.Fingerprint(), g2.Fingerprint(); f1 != f2 {
+		t.Fatalf("same structure, different build order: %x vs %x", f1, f2)
+	}
+}
+
+func TestFingerprintCopyInvariant(t *testing.T) {
+	g, err := gen.Multiplier(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != g.Copy().Fingerprint() {
+		t.Fatal("Copy changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := buildDiamond(true)
+	fp := base.Fingerprint()
+
+	compl := buildDiamond(true)
+	compl.SetPO(0, compl.PO(0).Not())
+	if compl.Fingerprint() == fp {
+		t.Fatal("complementing a PO kept the fingerprint")
+	}
+
+	extraPI := buildDiamond(true)
+	extraPI.AddPI() // interface change only; logic untouched
+	if extraPI.Fingerprint() == fp {
+		t.Fatal("extra PI kept the fingerprint")
+	}
+
+	extraPO := buildDiamond(true)
+	extraPO.AddPO(extraPO.PO(0))
+	if extraPO.Fingerprint() == fp {
+		t.Fatal("extra PO kept the fingerprint")
+	}
+}
+
+func TestFingerprintPOOrderMatters(t *testing.T) {
+	build := func(swap bool) *aig.AIG {
+		g := aig.New()
+		a, b := g.AddPI(), g.AddPI()
+		x, y := g.And(a, b), g.Or(a, b)
+		if swap {
+			x, y = y, x
+		}
+		g.AddPO(x)
+		g.AddPO(y)
+		return g
+	}
+	if build(false).Fingerprint() == build(true).Fingerprint() {
+		t.Fatal("swapping POs kept the fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresDeadNodes(t *testing.T) {
+	g1 := buildDiamond(true)
+	g2 := buildDiamond(true)
+	a, b := g2.PI(0), g2.PI(1)
+	g2.And(a.Not(), b.Not()) // dead: feeds no PO
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("dead node changed the fingerprint")
+	}
+}
+
+func TestFingerprintChangesUnderResyn2(t *testing.T) {
+	g, err := gen.Multiplier(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opt.Resyn2(g, nil)
+	if g.Fingerprint() == o.Fingerprint() {
+		t.Fatal("resyn2 restructured the circuit but the fingerprint is unchanged")
+	}
+}

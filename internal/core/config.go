@@ -261,6 +261,9 @@ func (s Stats) ReductionPercent() float64 {
 // Result is the outcome of a CheckMiter run.
 type Result struct {
 	Outcome Outcome
+	// Stopped reports that the run returned Undecided because Config.Stop
+	// cancelled it, not because the engine genuinely exhausted its phases.
+	Stopped bool
 	CEX     []bool // PI assignment disproving the miter
 	Reduced *aig.AIG
 	Phases  []PhaseStat

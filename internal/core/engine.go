@@ -108,7 +108,10 @@ func (e *engine) finish() {
 	}
 	if miter.IsProved(e.cur) {
 		e.res.Outcome = Equivalent
+		return
 	}
+	// Undecided: distinguish a cancelled run from a genuine fixpoint.
+	e.res.Stopped = e.cfg.stopped()
 }
 
 func (e *engine) snapshot(label string) {

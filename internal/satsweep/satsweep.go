@@ -99,6 +99,9 @@ type Stats struct {
 // when NotEquivalent, the final (possibly reduced) miter, and statistics.
 type Result struct {
 	Outcome Outcome
+	// Stopped reports that the sweep returned Undecided because
+	// Options.Stop cancelled it.
+	Stopped bool
 	CEX     []bool
 	Reduced *aig.AIG
 	Stats   Stats
@@ -127,6 +130,7 @@ func checkMiter(m *aig.AIG, opt Options) Result {
 	cur := m
 	for round := 0; round < opt.MaxRounds; round++ {
 		if opt.stopped() {
+			res.Stopped = true
 			res.Reduced = cur
 			return res
 		}
@@ -227,6 +231,7 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 	undecided := false
 	for i := 0; i < cur.NumPOs(); i++ {
 		if opt.stopped() {
+			res.Stopped = true
 			res.Reduced = cur
 			return res
 		}

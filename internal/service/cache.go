@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+
+	"simsweep"
+)
+
+// cacheKey identifies a check semantically: the canonical structural
+// fingerprints of the two circuits of a pair (order-normalised, so (B, A)
+// resubmissions hit the (A, B) entry), or the fingerprint of a miter. The
+// engine, seed and limits are deliberately excluded: only decided verdicts
+// are cached, and a decided verdict is a property of the circuits alone.
+type cacheKey struct {
+	mode   byte // 'p' pair, 'm' miter
+	lo, hi uint64
+}
+
+// keyOf validates the request shape and derives its cache key.
+func keyOf(req Request) (cacheKey, error) {
+	switch {
+	case req.Miter != nil && req.A == nil && req.B == nil:
+		fp := req.Miter.Fingerprint()
+		return cacheKey{mode: 'm', lo: fp, hi: fp}, nil
+	case req.Miter == nil && req.A != nil && req.B != nil:
+		fa, fb := req.A.Fingerprint(), req.B.Fingerprint()
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return cacheKey{mode: 'p', lo: fa, hi: fb}, nil
+	default:
+		return cacheKey{}, ErrBadRequest
+	}
+}
+
+// lru is a plain LRU map over cached results. It is not self-locking; the
+// Service serialises access under its own mutex.
+type lru struct {
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	byKey map[cacheKey]*list.Element
+}
+
+type lruEntry struct {
+	key cacheKey
+	res simsweep.Result
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, order: list.New(), byKey: make(map[cacheKey]*list.Element)}
+}
+
+func (c *lru) get(key cacheKey) (simsweep.Result, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return simsweep.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// put inserts a trimmed copy of the result: the verdict, counter-example
+// and headline numbers are retained, the bulky artifacts (reduced miter,
+// journal, pattern bank, phase records) are dropped so the cache footprint
+// stays proportional to CacheSize, not to miter sizes.
+func (c *lru) put(key cacheKey, res simsweep.Result) {
+	trimmed := simsweep.Result{
+		Outcome:        res.Outcome,
+		CEX:            res.CEX,
+		Runtime:        res.Runtime,
+		EngineUsed:     res.EngineUsed,
+		ReducedPercent: res.ReducedPercent,
+		SATTime:        res.SATTime,
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).res = trimmed
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: trimmed})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) len() int { return c.order.Len() }

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"simsweep"
+	"simsweep/internal/aig"
+	"simsweep/internal/aiger"
+)
+
+// JobRequest is the JSON body of POST /v1/jobs. Circuits are AIGER files
+// (ASCII "aag" or binary "aig"), base64-encoded. Either a and b (a pair
+// with matching interfaces) or miter must be present.
+type JobRequest struct {
+	A     string `json:"a,omitempty"`
+	B     string `json:"b,omitempty"`
+	Miter string `json:"miter,omitempty"`
+
+	Engine        string `json:"engine,omitempty"` // hybrid|sim|sat|bdd|portfolio
+	Seed          int64  `json:"seed,omitempty"`
+	ConflictLimit int64  `json:"conflict_limit,omitempty"`
+	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
+}
+
+// JobJSON is the wire representation of a job.
+type JobJSON struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Engine  string `json:"engine"`
+	Cached  bool   `json:"cached"`
+	Error   string `json:"error,omitempty"`
+	Timeout string `json:"timeout,omitempty"`
+
+	Verdict        string  `json:"verdict,omitempty"`
+	CEX            []int   `json:"cex,omitempty"`
+	EngineUsed     string  `json:"engine_used,omitempty"`
+	RuntimeMS      float64 `json:"runtime_ms,omitempty"`
+	SATTimeMS      float64 `json:"sat_time_ms,omitempty"`
+	ReducedPercent float64 `json:"reduced_percent,omitempty"`
+	PhasesRun      int     `json:"phases_run,omitempty"`
+	KernelLaunches int     `json:"kernel_launches,omitempty"`
+
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+}
+
+func jobJSON(j Job) JobJSON {
+	out := JobJSON{
+		ID:             j.ID,
+		State:          string(j.State),
+		Engine:         engineName(j.Engine),
+		Cached:         j.CacheHit,
+		Error:          j.Err,
+		KernelLaunches: j.KernelLaunches,
+		Created:        timeJSON(j.Created),
+		Started:        timeJSON(j.Started),
+		Finished:       timeJSON(j.Finished),
+	}
+	if j.Timeout > 0 {
+		out.Timeout = j.Timeout.String()
+	}
+	if r := j.Result; r != nil {
+		out.Verdict = r.Outcome.String()
+		out.EngineUsed = r.EngineUsed
+		out.RuntimeMS = float64(r.Runtime) / float64(time.Millisecond)
+		out.SATTimeMS = float64(r.SATTime) / float64(time.Millisecond)
+		out.ReducedPercent = r.ReducedPercent
+		out.PhasesRun = len(r.SimPhases)
+		if r.Outcome == simsweep.NotEquivalent && r.CEX != nil {
+			out.CEX = make([]int, len(r.CEX))
+			for i, v := range r.CEX {
+				if v {
+					out.CEX[i] = 1
+				}
+			}
+		}
+	}
+	return out
+}
+
+func timeJSON(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// NewHandler exposes the service over HTTP:
+//
+//	POST   /v1/jobs      submit a check (202; 200 on an instant cache hit)
+//	GET    /v1/jobs      list retained jobs, newest first
+//	GET    /v1/jobs/{id} job status, verdict, counter-example
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /healthz      liveness
+//	GET    /metrics      text-format counters
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmit(w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		out := make([]JobJSON, len(jobs))
+		for i, j := range jobs {
+			out[i] = jobJSON(j)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Get(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobJSON(j))
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrFinished):
+			writeJSON(w, http.StatusConflict, jobJSON(j))
+		default:
+			writeJSON(w, http.StatusOK, jobJSON(j))
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeMetrics(w, s.Stats())
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	req := Request{
+		Engine:        simsweep.Engine(body.Engine),
+		Seed:          body.Seed,
+		ConflictLimit: body.ConflictLimit,
+		Timeout:       time.Duration(body.TimeoutMS) * time.Millisecond,
+	}
+	var err error
+	if body.Miter != "" {
+		if req.Miter, err = decodeAIGER("miter", body.Miter); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if body.A != "" || body.B != "" {
+		if req.A, err = decodeAIGER("a", body.A); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.B, err = decodeAIGER("b", body.B); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	switch req.Engine {
+	case "", simsweep.EngineHybrid, simsweep.EngineSim, simsweep.EngineSAT,
+		simsweep.EngineBDD, simsweep.EnginePortfolio:
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q", body.Engine))
+		return
+	}
+
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	case j.State.Terminal(): // instant cache hit
+		writeJSON(w, http.StatusOK, jobJSON(j))
+	default:
+		writeJSON(w, http.StatusAccepted, jobJSON(j))
+	}
+}
+
+func decodeAIGER(field, b64 string) (*aig.AIG, error) {
+	if b64 == "" {
+		return nil, fmt.Errorf("field %q missing", field)
+	}
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, fmt.Errorf("field %q: bad base64: %w", field, err)
+	}
+	g, err := aiger.Read(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("field %q: bad AIGER: %w", field, err)
+	}
+	return g, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

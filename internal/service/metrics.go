@@ -1,0 +1,44 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// writeMetrics renders the counters in the Prometheus text exposition
+// format (plain counters and gauges; no client library needed).
+func writeMetrics(w io.Writer, st Stats) {
+	fmt.Fprintf(w, "# HELP cecd_queue_depth Jobs waiting for a runner slot.\n")
+	fmt.Fprintf(w, "# TYPE cecd_queue_depth gauge\n")
+	fmt.Fprintf(w, "cecd_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "# HELP cecd_running_jobs Jobs currently executing (at most cecd_max_concurrent).\n")
+	fmt.Fprintf(w, "# TYPE cecd_running_jobs gauge\n")
+	fmt.Fprintf(w, "cecd_running_jobs %d\n", st.Running)
+	fmt.Fprintf(w, "# TYPE cecd_max_concurrent gauge\n")
+	fmt.Fprintf(w, "cecd_max_concurrent %d\n", st.Concurrent)
+	fmt.Fprintf(w, "# TYPE cecd_workers gauge\n")
+	fmt.Fprintf(w, "cecd_workers %d\n", st.Workers)
+	fmt.Fprintf(w, "# TYPE cecd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "cecd_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "# TYPE cecd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "cecd_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(w, "# TYPE cecd_cache_entries gauge\n")
+	fmt.Fprintf(w, "cecd_cache_entries %d\n", st.CacheSize)
+
+	fmt.Fprintf(w, "# HELP cecd_jobs_total Finished jobs by terminal state.\n")
+	fmt.Fprintf(w, "# TYPE cecd_jobs_total counter\n")
+	states := make([]string, 0, len(st.ByOutcome))
+	for s := range st.ByOutcome {
+		states = append(states, string(s))
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "cecd_jobs_total{state=%q} %d\n", s, st.ByOutcome[State(s)])
+	}
+
+	fmt.Fprintf(w, "# HELP cecd_latency_seconds End-to-end latency of completed (uncached) jobs.\n")
+	fmt.Fprintf(w, "# TYPE cecd_latency_seconds summary\n")
+	fmt.Fprintf(w, "cecd_latency_seconds{quantile=\"0.5\"} %g\n", st.P50.Seconds())
+	fmt.Fprintf(w, "cecd_latency_seconds{quantile=\"0.99\"} %g\n", st.P99.Seconds())
+}

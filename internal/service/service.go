@@ -1,0 +1,525 @@
+// Package service turns the CEC engines into a long-running job subsystem:
+// a bounded submission queue, a scheduler that runs K jobs concurrently —
+// each on its own par.Device sized so the total worker count stays within
+// GOMAXPROCS (admission control instead of oversubscription) — per-job
+// deadlines and client cancellation wired into the engines' cooperative
+// Stop channel, an LRU result cache keyed by a canonical structural
+// fingerprint of the (A, B) pair, and a ring of recent results with
+// per-job statistics. cmd/cecd exposes it over HTTP.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"simsweep"
+	"simsweep/internal/aig"
+	"simsweep/internal/par"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle: queued → running → done | failed | timeout | cancelled.
+// Cache hits jump straight to done.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateTimeout   State = "timeout"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateTimeout || s == StateCancelled
+}
+
+// Request describes one CEC job: either a pair (A, B) of circuits with
+// matching interfaces, or a prebuilt miter.
+type Request struct {
+	A, B  *aig.AIG // pair mode (Miter nil)
+	Miter *aig.AIG // miter mode (A, B nil)
+
+	Engine        simsweep.Engine // "" selects the hybrid flow
+	Seed          int64
+	ConflictLimit int64
+	// Timeout bounds the job's execution (not its queue wait); 0 selects
+	// the service default. It is capped at Config.MaxTimeout.
+	Timeout time.Duration
+}
+
+// Config sizes the service. The zero value selects sensible defaults.
+type Config struct {
+	// MaxConcurrent is K, the number of jobs running at once (default 2).
+	MaxConcurrent int
+	// TotalWorkers is the worker budget shared by the K per-job devices;
+	// each device gets TotalWorkers/K (min 1). Default GOMAXPROCS, so the
+	// service never oversubscribes the machine.
+	TotalWorkers int
+	// QueueCap bounds the submission queue; Submit fails with
+	// ErrQueueFull beyond it (default 64).
+	QueueCap int
+	// CacheSize bounds the LRU result cache entries (default 256).
+	CacheSize int
+	// RingSize bounds the ring of retained finished jobs (default 256).
+	RingSize int
+	// DefaultTimeout applies to requests without one (0: unbounded).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any per-request timeout (0: uncapped).
+	MaxTimeout time.Duration
+	// Log, when non-nil, receives one line per job transition.
+	Log io.Writer
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.TotalWorkers <= 0 {
+		c.TotalWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 256
+	}
+}
+
+// Service errors.
+var (
+	ErrQueueFull  = errors.New("service: submission queue full")
+	ErrClosed     = errors.New("service: closed")
+	ErrNotFound   = errors.New("service: no such job")
+	ErrFinished   = errors.New("service: job already finished")
+	ErrBadRequest = errors.New("service: request needs either A and B or Miter")
+)
+
+// Job is the lifecycle record of one submitted check. Service.Get,
+// Submit, Cancel and Jobs return value copies that are safe to read
+// without locking.
+type Job struct {
+	ID      string
+	State   State
+	Engine  simsweep.Engine
+	Timeout time.Duration
+
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	// Result holds the engine result once Terminal (nil for failed).
+	Result *simsweep.Result
+	// Err carries the failure message for StateFailed.
+	Err string
+	// CacheHit marks a job answered from the result cache.
+	CacheHit bool
+	// KernelLaunches counts the par-device kernel launches the job issued.
+	KernelLaunches int
+}
+
+// job pairs the published record with the scheduling machinery that must
+// never be copied.
+type job struct {
+	Job
+
+	key   cacheKey
+	req   Request
+	stop  chan struct{}
+	once  sync.Once
+	cause State // timeout or cancelled, set by whoever closed stop
+}
+
+// stopNow closes the job's stop channel once, recording why.
+func (j *job) stopNow(cause State) {
+	j.once.Do(func() {
+		j.cause = cause
+		close(j.stop)
+	})
+}
+
+// Service is the CEC job subsystem. Create with New, release with Close.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	ring    []string // finished job ids, oldest first
+	cache   *lru
+	seq     int
+	closed  bool
+	running int
+
+	// counters for /metrics
+	hits, misses uint64
+	byOutcome    map[State]uint64
+	latencies    *latencyRing
+
+	queue chan *job
+	wg    sync.WaitGroup
+	devs  []*par.Device
+}
+
+// New starts a service: K runner goroutines, each owning one device.
+func New(cfg Config) *Service {
+	cfg.fill()
+	s := &Service{
+		cfg:       cfg,
+		jobs:      make(map[string]*job),
+		cache:     newLRU(cfg.CacheSize),
+		byOutcome: make(map[State]uint64),
+		latencies: newLatencyRing(1024),
+		queue:     make(chan *job, cfg.QueueCap),
+	}
+	perDev := cfg.TotalWorkers / cfg.MaxConcurrent
+	if perDev < 1 {
+		perDev = 1
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		dev := par.NewDevice(perDev)
+		s.devs = append(s.devs, dev)
+		s.wg.Add(1)
+		go s.runner(dev)
+	}
+	return s
+}
+
+// Close drains the runners and releases their devices. Queued jobs that
+// never ran are marked cancelled; running jobs are stopped cooperatively.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	for _, j := range s.jobs {
+		if !j.State.Terminal() {
+			j.stopNow(StateCancelled)
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	for _, dev := range s.devs {
+		dev.Close()
+	}
+}
+
+// Submit validates and enqueues a request. Cache hits complete instantly
+// (the returned job is already done); otherwise the job is queued and one
+// of the K runners will pick it up. A full queue fails with ErrQueueFull —
+// that is the admission control the HTTP layer maps to 429.
+func (s *Service) Submit(req Request) (Job, error) {
+	key, err := keyOf(req)
+	if err != nil {
+		return Job{}, err
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	s.seq++
+	j := &job{
+		Job: Job{
+			ID:      fmt.Sprintf("j%d", s.seq),
+			State:   StateQueued,
+			Engine:  req.Engine,
+			Timeout: timeout,
+			Created: time.Now(),
+		},
+		key:  key,
+		req:  req,
+		stop: make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+
+	if cached, ok := s.cache.get(key); ok {
+		s.hits++
+		j.State = StateDone
+		j.CacheHit = true
+		j.Started = j.Created
+		j.Finished = time.Now()
+		res := cached
+		j.Result = &res
+		s.finishLocked(j)
+		snap := j.Job
+		s.mu.Unlock()
+		s.logf("job %s: cache hit (%v)", snap.ID, res.Outcome)
+		return snap, nil
+	}
+	s.misses++
+
+	// Snapshot before unlocking: once queued, a runner may start mutating
+	// the job the instant the lock is released.
+	snap := j.Job
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		return Job{}, ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.logf("job %s: queued (engine %s)", snap.ID, engineName(req.Engine))
+	return snap, nil
+}
+
+// Get returns a snapshot of the job.
+func (s *Service) Get(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return j.Job, nil
+}
+
+// Cancel requests cooperative cancellation of a queued or running job.
+func (s *Service) Cancel(id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, ErrNotFound
+	}
+	if j.State.Terminal() {
+		snap := j.Job
+		s.mu.Unlock()
+		return snap, ErrFinished
+	}
+	queued := j.State == StateQueued
+	if queued {
+		// The runner will skip it; settle the record immediately.
+		j.State = StateCancelled
+		j.Finished = time.Now()
+		s.finishLocked(j)
+	}
+	s.mu.Unlock()
+	j.stopNow(StateCancelled)
+	s.logf("job %s: cancel requested", id)
+	s.mu.Lock()
+	snap := j.Job
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// Jobs returns snapshots of every retained job, newest first.
+func (s *Service) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.Job)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Created.After(out[k].Created) })
+	return out
+}
+
+// runner is one of the K scheduler loops; it owns dev for its lifetime, so
+// at most K devices are ever simulating and total workers stay bounded.
+func (s *Service) runner(dev *par.Device) {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j, dev)
+	}
+}
+
+func (s *Service) runJob(j *job, dev *par.Device) {
+	s.mu.Lock()
+	if j.State != StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.State = StateRunning
+	j.Started = time.Now()
+	s.running++
+	s.mu.Unlock()
+	s.logf("job %s: running", j.ID)
+
+	var timer *time.Timer
+	if j.Timeout > 0 {
+		timer = time.AfterFunc(j.Timeout, func() { j.stopNow(StateTimeout) })
+	}
+	launchesBefore := totalLaunches(dev)
+	res, err := s.check(j.req, dev, j.stop)
+	if timer != nil {
+		timer.Stop()
+	}
+
+	s.mu.Lock()
+	j.Finished = time.Now()
+	j.KernelLaunches = totalLaunches(dev) - launchesBefore
+	s.running--
+	switch {
+	case err != nil:
+		j.State = StateFailed
+		j.Err = err.Error()
+	case res.Stopped:
+		// The engines returned early because the stop channel closed;
+		// the closer recorded whether it was the deadline or the client.
+		j.State = j.cause
+		if j.State == "" { // stop raced a genuine finish; treat as done
+			j.State = StateDone
+		}
+		j.Result = &res
+	default:
+		j.State = StateDone
+		j.Result = &res
+		if res.Outcome != simsweep.Undecided {
+			s.cache.put(j.key, res)
+		}
+	}
+	s.finishLocked(j)
+	s.mu.Unlock()
+	s.logf("job %s: %s", j.ID, j.State)
+}
+
+// check dispatches the engines with the runner's device and the job's stop
+// channel wired into the cooperative cancellation path.
+func (s *Service) check(req Request, dev *par.Device, stop <-chan struct{}) (simsweep.Result, error) {
+	opts := simsweep.Options{
+		Engine:        req.Engine,
+		Seed:          req.Seed,
+		ConflictLimit: req.ConflictLimit,
+		Dev:           dev,
+		Workers:       dev.Workers(),
+		Stop:          stop,
+	}
+	if req.Miter != nil {
+		return simsweep.CheckMiter(req.Miter, opts)
+	}
+	return simsweep.CheckEquivalence(req.A, req.B, opts)
+}
+
+// finishLocked records a terminal job in the ring and counters, evicting
+// the oldest retained record beyond RingSize. Callers hold s.mu.
+func (s *Service) finishLocked(j *job) {
+	s.byOutcome[j.State]++
+	if j.State == StateDone && !j.CacheHit {
+		s.latencies.add(j.Finished.Sub(j.Created))
+	}
+	s.ring = append(s.ring, j.ID)
+	if len(s.ring) > s.cfg.RingSize {
+		evict := s.ring[0]
+		s.ring = s.ring[1:]
+		if old, ok := s.jobs[evict]; ok && old.State.Terminal() {
+			delete(s.jobs, evict)
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the service counters for /metrics.
+type Stats struct {
+	QueueDepth  int
+	Running     int
+	CacheHits   uint64
+	CacheMisses uint64
+	CacheSize   int
+	ByOutcome   map[State]uint64
+	P50         time.Duration
+	P99         time.Duration
+	Workers     int // total worker budget across the K devices
+	Concurrent  int // K
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	by := make(map[State]uint64, len(s.byOutcome))
+	for k, v := range s.byOutcome {
+		by[k] = v
+	}
+	p50, p99 := s.latencies.percentiles()
+	return Stats{
+		QueueDepth:  len(s.queue),
+		Running:     s.running,
+		CacheHits:   s.hits,
+		CacheMisses: s.misses,
+		CacheSize:   s.cache.len(),
+		ByOutcome:   by,
+		P50:         p50,
+		P99:         p99,
+		Workers:     s.cfg.TotalWorkers,
+		Concurrent:  s.cfg.MaxConcurrent,
+	}
+}
+
+func (s *Service) logf(format string, args ...interface{}) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+func engineName(e simsweep.Engine) string {
+	if e == "" {
+		return string(simsweep.EngineHybrid)
+	}
+	return string(e)
+}
+
+// totalLaunches sums the kernel launch counts of a device's profile.
+func totalLaunches(dev *par.Device) int {
+	n := 0
+	for _, ks := range dev.Stats() {
+		n += ks.Launches
+	}
+	return n
+}
+
+// latencyRing keeps the last n end-to-end latencies of completed jobs for
+// cheap p50/p99 estimation.
+type latencyRing struct {
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+func newLatencyRing(n int) *latencyRing { return &latencyRing{buf: make([]time.Duration, n)} }
+
+func (r *latencyRing) add(d time.Duration) {
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), r.buf[:n]...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := func(p float64) int {
+		i := int(p * float64(n-1))
+		return i
+	}
+	return sorted[idx(0.50)], sorted[idx(0.99)]
+}

@@ -57,6 +57,24 @@ const (
 // NewAIG returns an empty AIG for manual construction.
 func NewAIG() *AIG { return aig.New() }
 
+// Fingerprint returns a canonical structural hash of g: a 64-bit digest of
+// the strashed DAG reachable from the POs plus the PI/PO interface
+// signature, independent of node creation order. Structurally identical
+// circuits share a fingerprint; restructuring (Optimize) changes it. The
+// service layer's result cache keys on it.
+func Fingerprint(g *AIG) uint64 { return g.Fingerprint() }
+
+// Device is the parallel execution device the engines dispatch their
+// kernels to: a persistent worker pool with per-kernel statistics. Checks
+// create one on demand; supply your own (Options.Dev) to reuse the pool
+// across checks, bound total parallelism across concurrent checks, or read
+// kernel statistics afterwards.
+type Device = par.Device
+
+// NewDevice returns a Device with the given degree of parallelism
+// (0: all CPUs). Close it when done, or let the GC collect it.
+func NewDevice(workers int) *Device { return par.NewDevice(workers) }
+
 // ReadAIGER parses an AIGER file (ASCII "aag" or binary "aig" format).
 func ReadAIGER(r io.Reader) (*AIG, error) { return aiger.Read(r) }
 
@@ -173,6 +191,10 @@ type Options struct {
 	Engine Engine
 	// Workers bounds the parallel device (0: all CPUs).
 	Workers int
+	// Dev supplies an existing parallel device for the check; nil creates
+	// one sized by Workers. The portfolio engine ignores it (each racing
+	// member needs its own pool).
+	Dev *Device
 	// Seed drives random simulation patterns.
 	Seed int64
 	// ConflictLimit bounds each SAT call of the sweeping backend
@@ -202,6 +224,10 @@ type SimStats = core.Stats
 // Result reports a check.
 type Result struct {
 	Outcome Outcome
+	// Stopped reports that the check returned Undecided because
+	// Options.Stop cancelled it (client cancellation or timeout), not
+	// because the engine genuinely ran out of ideas.
+	Stopped bool
 	// CEX is a PI assignment separating the circuits (NotEquivalent).
 	CEX []bool
 	// Runtime is the wall-clock time of the whole check.
@@ -245,7 +271,10 @@ func CheckMiter(m *AIG, o Options) (Result, error) {
 }
 
 func checkMiter(m *AIG, o Options) (Result, error) {
-	dev := par.NewDevice(o.Workers)
+	dev := o.Dev
+	if dev == nil {
+		dev = par.NewDevice(o.Workers)
+	}
 	switch o.Engine {
 	case "", EngineHybrid:
 		return runHybrid(m, o, dev), nil
@@ -306,6 +335,7 @@ func runSim(m *AIG, o Options, dev *par.Device) Result {
 	stats := cr.Stats
 	return Result{
 		Outcome:        outcomeOfCore(cr.Outcome),
+		Stopped:        cr.Stopped,
 		CEX:            cr.CEX,
 		EngineUsed:     "sim",
 		SimPhases:      cr.Phases,
@@ -325,6 +355,7 @@ func runSAT(m *AIG, o Options, dev *par.Device) Result {
 	})
 	return Result{
 		Outcome:    outcomeOfSweep(sr.Outcome),
+		Stopped:    sr.Stopped,
 		CEX:        sr.CEX,
 		EngineUsed: "sat",
 		SATTime:    sr.Stats.Runtime,
@@ -356,6 +387,7 @@ func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 	stats := cr.Stats
 	r := Result{
 		Outcome:        outcomeOfCore(cr.Outcome),
+		Stopped:        cr.Stopped,
 		CEX:            cr.CEX,
 		EngineUsed:     "hybrid",
 		SimPhases:      cr.Phases,
@@ -364,7 +396,7 @@ func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 		ReducedPercent: stats.ReductionPercent(),
 		Reduced:        cr.Reduced,
 	}
-	if r.Outcome != Undecided {
+	if r.Outcome != Undecided || r.Stopped {
 		return r
 	}
 	satStart := time.Now()
@@ -377,6 +409,7 @@ func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 	})
 	r.SATTime = time.Since(satStart)
 	r.Outcome = outcomeOfSweep(sr.Outcome)
+	r.Stopped = sr.Stopped
 	r.CEX = sr.CEX
 	r.Reduced = sr.Reduced
 	return r
@@ -384,14 +417,15 @@ func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 
 // runPortfolio races the hybrid flow, standalone SAT sweeping and the BDD
 // engine, first definitive verdict wins — the execution model the paper
-// attributes to commercial multi-engine checkers.
+// attributes to commercial multi-engine checkers. An external Options.Stop
+// is merged with the portfolio's own loser-cancellation channel.
 func runPortfolio(m *AIG, o Options) Result {
 	engines := []portfolio.Engine{
 		{
 			Name: "hybrid",
 			Run: func(mm *AIG, stop <-chan struct{}) (portfolio.Verdict, []bool) {
 				oo := o
-				oo.Stop = stop
+				oo.Stop = mergeStop(stop, o.Stop)
 				r := runHybrid(mm, oo, par.NewDevice(o.Workers))
 				return portfolioVerdict(r.Outcome), r.CEX
 			},
@@ -403,7 +437,7 @@ func runPortfolio(m *AIG, o Options) Result {
 					Dev:           par.NewDevice(o.Workers),
 					ConflictLimit: o.ConflictLimit,
 					Seed:          o.Seed + 1,
-					Stop:          stop,
+					Stop:          mergeStop(stop, o.Stop),
 				})
 				return portfolioVerdict(outcomeOfSweep(sr.Outcome)), sr.CEX
 			},
@@ -419,9 +453,44 @@ func runPortfolio(m *AIG, o Options) Result {
 	pr := portfolio.Check(m, engines)
 	return Result{
 		Outcome:    outcomeOfPortfolio(pr.Verdict),
+		Stopped:    pr.Verdict == portfolio.Undecided && stopRequested(o.Stop),
 		CEX:        pr.CEX,
 		EngineUsed: "portfolio/" + pr.Engine,
 		Reduced:    m,
+	}
+}
+
+// mergeStop returns a channel closed as soon as either input closes. The
+// portfolio always closes its own channel when Check returns, so the
+// forwarding goroutine cannot leak.
+func mergeStop(a, b <-chan struct{}) <-chan struct{} {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		return b
+	}
+	out := make(chan struct{})
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		}
+		close(out)
+	}()
+	return out
+}
+
+// stopRequested reports whether a cancellation channel has been closed.
+func stopRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
 	}
 }
 

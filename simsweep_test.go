@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func genPair(t *testing.T, name string, scale int) (*AIG, *AIG) {
@@ -161,6 +162,68 @@ func TestWorkerCountsAgree(t *testing.T) {
 	}
 	if got[0] != got[1] || got[0] != Equivalent {
 		t.Fatalf("verdicts differ across worker counts: %v", got)
+	}
+}
+
+func TestStoppedDistinguishesCancelledRun(t *testing.T) {
+	g, o := genPair(t, "multiplier", 8)
+	stop := make(chan struct{})
+	close(stop)
+	for _, engine := range []Engine{EngineHybrid, EngineSim, EngineSAT} {
+		res, err := CheckEquivalence(g, o, Options{Engine: engine, Seed: 3, Stop: stop})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if res.Outcome != Undecided {
+			t.Fatalf("%s: cancelled run decided the miter: %v", engine, res.Outcome)
+		}
+		if !res.Stopped {
+			t.Fatalf("%s: cancelled undecided run not marked Stopped", engine)
+		}
+	}
+	// Control: an uncancelled run must not claim it was stopped.
+	res, err := CheckEquivalence(g, o, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Equivalent || res.Stopped {
+		t.Fatalf("clean run: outcome=%v stopped=%v", res.Outcome, res.Stopped)
+	}
+}
+
+func TestStopMidRunReturnsPromptlyAndDeviceIsReusable(t *testing.T) {
+	// A large miter whose SAT sweep runs for a while: cancel it mid-run
+	// and require a prompt, clean return that leaves the shared device
+	// usable for the next check (the service layer depends on both).
+	g, o := genPair(t, "multiplier", 11)
+	dev := NewDevice(4)
+	defer dev.Close()
+
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(stop)
+	}()
+	start := time.Now()
+	res, err := CheckEquivalence(g, o, Options{Engine: EngineSAT, Seed: 5, Stop: stop, Dev: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled run returned only after %v", elapsed)
+	}
+	if res.Outcome == Undecided && !res.Stopped {
+		t.Fatal("cancelled undecided run not marked Stopped")
+	}
+
+	// The device must be left reusable: run a small complete check on it.
+	g2, o2 := genPair(t, "adder", 6)
+	res2, err := CheckEquivalence(g2, o2, Options{Seed: 5, Dev: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcome != Equivalent || res2.Stopped {
+		t.Fatalf("device unusable after cancellation: outcome=%v stopped=%v", res2.Outcome, res2.Stopped)
 	}
 }
 
