@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: build test race service-race bench benchtab bench-service
+.PHONY: all build test doccheck race service-race trace-race bench benchtab bench-service
+
+all: build doccheck test
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Documentation bar: every exported identifier must carry a doc comment.
+doccheck:
+	$(GO) run ./cmd/doccheck .
 
 # Race-detector pass over the concurrency-heavy packages: the persistent
 # worker pool and the window-parallel exhaustive simulator built on it.
@@ -17,6 +23,13 @@ race:
 # result cache and the HTTP daemon's end-to-end test.
 service-race:
 	$(GO) test -race ./internal/service/... ./cmd/cecd/...
+
+# Race-detector pass over the tracing path: the recorder itself plus a
+# traced end-to-end job through the daemon (per-worker kernel spans,
+# histogram observers and the trace endpoint all under contention).
+trace-race:
+	$(GO) test -race ./internal/trace/...
+	$(GO) test -race -run 'TestDaemonTracedJob|TestTraceMatchesPhaseStats' ./cmd/cecd/... ./internal/core/...
 
 bench:
 	$(GO) test -bench 'BenchmarkExhaustiveCheckBatch|BenchmarkDeviceLaunch' -benchmem ./internal/par/ ./internal/sim/

@@ -7,6 +7,7 @@
 //
 //	cec [-engine hybrid|sim|sat|bdd|portfolio] a.aig b.aig
 //	cec -miter m.aig
+//	cec -trace out.json -phase-report a.aig b.aig
 //
 // Exit status: 0 equivalent, 1 not equivalent, 2 undecided or error.
 package main
@@ -34,6 +35,8 @@ func run() int {
 	conflicts := flag.Int64("C", 0, "SAT conflict limit per call (0: unlimited)")
 	timeout := flag.Duration("timeout", 0, "bound the whole run; a timed-out check exits with status 2 (0: no limit)")
 	verbose := flag.Bool("v", false, "print per-phase statistics")
+	tracePath := flag.String("trace", "", "record an execution trace and write it as Chrome trace_event JSON to this file (load in Perfetto)")
+	phaseReport := flag.Bool("phase-report", false, "print the traced phase breakdown table (implies tracing)")
 	flag.Parse()
 
 	opts := simsweep.Options{
@@ -41,6 +44,9 @@ func run() int {
 		Workers:       *workers,
 		Seed:          *seed,
 		ConflictLimit: *conflicts,
+	}
+	if *tracePath != "" || *phaseReport {
+		opts.Trace = simsweep.NewTracer(0)
 	}
 	if *timeout > 0 {
 		stop := make(chan struct{})
@@ -123,6 +129,31 @@ func run() int {
 				}
 			}
 			fmt.Println()
+		}
+	}
+	if opts.Trace != nil {
+		opts.Trace.Disable()
+		if *phaseReport {
+			fmt.Println("phase report:")
+			simsweep.WritePhaseReport(os.Stdout, opts.Trace)
+		}
+		if *tracePath != "" {
+			f, werr := os.Create(*tracePath)
+			if werr == nil {
+				werr = simsweep.WriteChromeTrace(f, opts.Trace)
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "cec: trace:", werr)
+			} else {
+				fmt.Printf("trace written to %s (%d events", *tracePath, opts.Trace.Len())
+				if d := opts.Trace.Dropped(); d > 0 {
+					fmt.Printf(", %d dropped", d)
+				}
+				fmt.Println(")")
+			}
 		}
 	}
 	if *dump != "" && res.Reduced != nil {

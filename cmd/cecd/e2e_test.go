@@ -349,3 +349,130 @@ func TestDaemonRejectsBadRequests(t *testing.T) {
 		t.Fatalf("unknown job: status %d", resp.StatusCode)
 	}
 }
+
+// TestDaemonTracedJob submits a traced job over HTTP, fetches its Chrome
+// trace from /v1/jobs/{id}/trace, and checks both the JSON shape and the
+// histogram metrics the run must have populated.
+func TestDaemonTracedJob(t *testing.T) {
+	svc := service.New(service.Config{MaxConcurrent: 1, TotalWorkers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(service.NewHandler(svc))
+	defer ts.Close()
+
+	g, err := simsweep.Generate("multiplier", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := simsweep.Optimize(g)
+
+	// Traced submission via the query parameter.
+	raw, _ := json.Marshal(map[string]interface{}{
+		"a": b64AIGER(t, g), "b": b64AIGER(t, o),
+	})
+	resp, err := http.Post(ts.URL+"/v1/jobs?trace=1", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub service.JobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	// While the job is still running, the trace endpoint must not 200.
+	// (Checked only if the job is demonstrably unfinished afterwards, so a
+	// fast job cannot make this racy.)
+	if r, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/trace"); err == nil {
+		stillRunning := !service.State(getJob(t, ts.URL, sub.ID).State).Terminal()
+		if stillRunning && r.StatusCode == http.StatusOK {
+			t.Fatalf("trace endpoint returned 200 for unfinished job")
+		}
+		r.Body.Close()
+	}
+
+	j := waitJob(t, ts.URL, sub.ID, 30*time.Second)
+	if j.State != string(service.StateDone) {
+		t.Fatalf("job state = %s (%s)", j.State, j.Error)
+	}
+	if !j.Traced {
+		t.Fatal("finished job not marked traced")
+	}
+
+	tresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: status %d", tresp.StatusCode)
+	}
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("trace content type = %q", ct)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, e := range chrome.TraceEvents {
+		cats[e.Cat] = true
+	}
+	for _, want := range []string{"engine", "phase", "sim"} {
+		if !cats[want] {
+			t.Fatalf("trace missing category %q (got %v)", want, cats)
+		}
+	}
+
+	// An untraced job yields 404 from the trace endpoint after finishing.
+	plain, status := postJob(t, ts.URL, map[string]interface{}{
+		"a": b64AIGER(t, o), "b": b64AIGER(t, g), // swapped: cache hit, no trace
+	})
+	if status != http.StatusOK {
+		t.Fatalf("cache-hit submit: status %d", status)
+	}
+	nresp, err := http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("untraced trace fetch: status %d, want 404", nresp.StatusCode)
+	}
+
+	// The run populated the new histograms.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := mbuf.String()
+	for _, want := range []string{
+		`cecd_phase_duration_seconds_bucket{kind="P",le="+Inf"}`,
+		"cecd_kernel_launch_items_bucket",
+		"cecd_queue_wait_seconds_count 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	var phaseCount int
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, `cecd_phase_duration_seconds_count{kind="P"}`) {
+			fmt.Sscanf(line, `cecd_phase_duration_seconds_count{kind="P"} %d`, &phaseCount)
+		}
+	}
+	if phaseCount < 1 {
+		t.Fatalf("phase duration histogram empty:\n%s", metrics)
+	}
+}

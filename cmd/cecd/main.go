@@ -7,16 +7,23 @@
 //
 // API:
 //
-//	POST   /v1/jobs      {"a": <b64 AIGER>, "b": <b64 AIGER>} or {"miter": ...}
-//	                     plus optional "engine", "seed", "conflict_limit",
-//	                     "timeout_ms"; responds 202 (200 on a cache hit),
-//	                     429 when the queue is full
-//	GET    /v1/jobs      recent jobs, newest first
-//	GET    /v1/jobs/{id} status, verdict, counter-example, per-job stats
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /healthz      liveness
-//	GET    /metrics      text-format counters (queue depth, running jobs,
-//	                     cache hits/misses, jobs by outcome, p50/p99)
+//	POST   /v1/jobs            {"a": <b64 AIGER>, "b": <b64 AIGER>} or
+//	                           {"miter": ...} plus optional "engine", "seed",
+//	                           "conflict_limit", "timeout_ms", "trace" (or
+//	                           ?trace=1); responds 202 (200 on a cache hit),
+//	                           429 when the queue is full
+//	GET    /v1/jobs            recent jobs, newest first
+//	GET    /v1/jobs/{id}       status, verdict, counter-example, per-job stats
+//	GET    /v1/jobs/{id}/trace Chrome trace_event JSON of a traced job
+//	                           (load in Perfetto or chrome://tracing)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /healthz            liveness
+//	GET    /metrics            text-format counters and histograms (queue
+//	                           depth, cache hits, phase durations, kernel
+//	                           launch sizes, queue wait)
+//
+// With -pprof, the net/http/pprof profiling handlers are additionally
+// served under /debug/pprof/.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +54,7 @@ func run() int {
 	defTimeout := flag.Duration("timeout", 0, "default per-job execution deadline (0: none)")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0: uncapped)")
 	quiet := flag.Bool("q", false, "suppress per-job log lines")
+	withPprof := flag.Bool("pprof", false, "serve net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	var logw io.Writer = os.Stderr
@@ -64,7 +73,18 @@ func run() int {
 	})
 	defer svc.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	handler := service.NewHandler(svc)
+	if *withPprof {
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()

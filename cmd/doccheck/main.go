@@ -1,0 +1,185 @@
+// Command doccheck enforces the repository's documentation bar: every
+// exported top-level identifier (type, function, method, and const/var
+// group) of the listed packages must carry a doc comment. It parses the
+// source with go/parser — no build step, no external tools — and prints
+// one line per violation.
+//
+// Usage:
+//
+//	doccheck [dir ...]    (default: all non-test .go files under .)
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [dir ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+
+	var dirs []string
+	seen := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dir := filepath.Dir(path)
+				if !seen[dir] {
+					seen[dir] = true
+					dirs = append(dirs, dir)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			return 2
+		}
+	}
+	sort.Strings(dirs)
+
+	violations := 0
+	for _, dir := range dirs {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			return 2
+		}
+		violations += n
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", violations)
+		return 1
+	}
+	return 0
+}
+
+// checkDir parses every non-test .go file of one directory and reports
+// undocumented exported declarations.
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+
+	violations := 0
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: exported %s %s has no doc comment\n", p.Filename, p.Line, what, name)
+		violations++
+	}
+
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if d.Recv != nil {
+						recv, exported := receiverName(d.Recv)
+						if !exported {
+							continue // method on an unexported type
+						}
+						report(d.Pos(), "method", recv+"."+d.Name.Name)
+					} else {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return violations, nil
+}
+
+// checkGenDecl handles type, const and var declarations. A documented
+// const/var group documents all its members; an undocumented group is
+// reported once per exported member lacking its own comment.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && ts.Doc == nil {
+				report(ts.Pos(), "type", ts.Name.Name)
+			}
+		}
+	case token.CONST, token.VAR:
+		what := "const"
+		if d.Tok == token.VAR {
+			what = "var"
+		}
+		groupDocumented := d.Doc != nil
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			specDocumented := groupDocumented || vs.Doc != nil || vs.Comment != nil
+			for _, n := range vs.Names {
+				if n.IsExported() && !specDocumented {
+					report(n.Pos(), what, n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's type name and whether it is
+// exported (methods on unexported types are not part of the API surface).
+func receiverName(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name, x.IsExported()
+		default:
+			return "", false
+		}
+	}
+}

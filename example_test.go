@@ -39,6 +39,21 @@ endmodule`
 	// Output: 3 1
 }
 
+// A shared Device reuses one worker pool across many checks, bounding the
+// machine's total parallelism and accumulating kernel statistics.
+func ExampleNewDevice() {
+	dev := simsweep.NewDevice(2)
+	defer dev.Close()
+	for _, scale := range []int{4, 5} {
+		a, _ := simsweep.Generate("multiplier", scale)
+		res, _ := simsweep.CheckEquivalence(a, simsweep.Optimize(a), simsweep.Options{Dev: dev, Seed: 1})
+		fmt.Println(scale, res.Outcome)
+	}
+	// Output:
+	// 4 equivalent
+	// 5 equivalent
+}
+
 // Choosing an engine explicitly.
 func ExampleCheckMiter() {
 	a, _ := simsweep.Generate("voter", 2)

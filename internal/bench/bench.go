@@ -36,6 +36,7 @@ type Case struct {
 	Doublings int
 }
 
+// String names the case as "<family>-<scale>[xN]".
 func (c Case) String() string {
 	if c.Doublings == 0 {
 		return c.Name

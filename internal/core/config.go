@@ -15,6 +15,7 @@ import (
 	"simsweep/internal/aig"
 	"simsweep/internal/cuts"
 	"simsweep/internal/par"
+	"simsweep/internal/trace"
 )
 
 // Config carries the engine parameters. The names follow the paper:
@@ -99,6 +100,12 @@ type Config struct {
 	Stop <-chan struct{}
 	// Log, when non-nil, receives one progress line per phase.
 	Log io.Writer
+	// Trace, when non-nil and enabled, receives one span per executed
+	// P/G/L phase (checked/proved/disproved/ANDs-remaining attributes)
+	// plus one whole-run span, and is propagated to the simulators it
+	// drives. The caller also attaches it to the device (Dev.SetTracer)
+	// for per-worker kernel spans; the facade does both.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the paper's parameter values.
@@ -188,6 +195,7 @@ const (
 	NotEquivalent
 )
 
+// String renders the verdict for logs and CLI output.
 func (o Outcome) String() string {
 	switch o {
 	case Equivalent:
@@ -208,6 +216,7 @@ const (
 	PhaseL
 )
 
+// String returns the phase letter of Fig. 5 ("P", "G" or "L").
 func (k PhaseKind) String() string {
 	switch k {
 	case PhaseP:
@@ -250,10 +259,12 @@ type Stats struct {
 }
 
 // ReductionPercent reports the miter-size reduction of the run, the
-// "Reduced (%)" column of Table II.
+// "Reduced (%)" column of Table II. A miter that was already empty after
+// strashing (InitialAnds == 0) had nothing to reduce: the result is 0,
+// never NaN.
 func (s Stats) ReductionPercent() float64 {
 	if s.InitialAnds == 0 {
-		return 100
+		return 0
 	}
 	return 100 * (1 - float64(s.FinalAnds)/float64(s.InitialAnds))
 }

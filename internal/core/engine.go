@@ -10,6 +10,7 @@ import (
 	"simsweep/internal/miter"
 	"simsweep/internal/opt"
 	"simsweep/internal/sim"
+	"simsweep/internal/trace"
 )
 
 // CheckMiter runs the simulation-based CEC engine on a miter. It proves
@@ -18,15 +19,24 @@ import (
 func CheckMiter(m *aig.AIG, cfg Config) Result {
 	cfg.fill()
 	e := &engine{cfg: &cfg, cur: m}
+	if cfg.Trace.Enabled() {
+		e.tb = cfg.Trace.Buf(trace.ControlTrack)
+	}
 	e.res.Reduced = m
 	e.res.Stats.InitialAnds = liveAnds(m)
 	if cfg.KeepSnapshots {
 		e.res.Snapshots = make(map[string]*aig.AIG)
 	}
+	esp := e.tb.Begin(trace.CatEngine, "core.check")
 	start := time.Now()
 	e.run()
 	e.res.Stats.Runtime = time.Since(start)
 	e.res.Stats.FinalAnds = liveAnds(e.res.Reduced)
+	esp.Arg("initial_ands", int64(e.res.Stats.InitialAnds))
+	esp.Arg("final_ands", int64(e.res.Stats.FinalAnds))
+	esp.Arg("rounds", int64(e.res.Stats.Rounds))
+	esp.Arg("words_simulated", e.res.Stats.WordsSimulated)
+	esp.End()
 	if e.partial != nil {
 		e.res.PatternBank = e.partial.ExportBank()
 	}
@@ -48,6 +58,7 @@ type engine struct {
 	ex      *sim.Exhaustive
 	res     Result
 	decided bool
+	tb      *trace.Buf // control-track trace buffer (nil: tracing off)
 
 	// lastPassProved drives Config.AdaptivePasses: per-pass proof counts
 	// of the previous L phase (nil before the first phase).
@@ -61,7 +72,9 @@ func (e *engine) run() {
 	}
 	e.ex = sim.NewExhaustive(e.cfg.Dev, e.cfg.MemBudgetWords)
 	e.ex.SliceWork = e.cfg.SimSliceWork
+	e.ex.Trace = e.cfg.Trace
 	e.partial = sim.NewPartial(e.cfg.Dev, e.cur.NumPIs(), e.cfg.SimWords, e.cfg.Seed)
+	e.partial.Trace = e.cfg.Trace
 
 	e.phaseP()
 	e.snapshot("P")
@@ -120,6 +133,17 @@ func (e *engine) snapshot(label string) {
 	}
 	clean, _ := miter.Clean(e.cur)
 	e.res.Snapshots[label] = clean
+}
+
+// endPhaseSpan closes a phase trace span with the attributes of the Figure 6
+// breakdown, taken verbatim from the PhaseStat so the trace and
+// Result.Phases always agree.
+func (e *engine) endPhaseSpan(sp *trace.Span, stat *PhaseStat) {
+	sp.Arg("checked", int64(stat.Checked))
+	sp.Arg("proved", int64(stat.Proved))
+	sp.Arg("disproved", int64(stat.Disproved))
+	sp.Arg("ands", int64(stat.AndsAfter))
+	sp.End()
 }
 
 // disprove finalises a NotEquivalent verdict from a PI assignment.
@@ -276,10 +300,12 @@ func (e *engine) checkChunked(pairs []sim.Pair, specs []sim.Spec, ks int) sim.Re
 func (e *engine) phaseP() {
 	start := time.Now()
 	stat := PhaseStat{Kind: PhaseP}
+	sp := e.tb.Begin(trace.CatPhase, "P")
 	defer func() {
 		stat.Duration = time.Since(start)
 		stat.AndsAfter = e.cur.NumAnds()
 		e.res.Phases = append(e.res.Phases, stat)
+		e.endPhaseSpan(&sp, &stat)
 		e.cfg.logf("phase P: checked=%d proved=%d disproved=%d ands=%d (%v)",
 			stat.Checked, stat.Proved, stat.Disproved, stat.AndsAfter, stat.Duration.Round(time.Millisecond))
 	}()
@@ -406,10 +432,12 @@ func (e *engine) buildEC(sims [][]uint64) *ec.Manager {
 func (e *engine) phaseG() {
 	start := time.Now()
 	stat := PhaseStat{Kind: PhaseG}
+	sp := e.tb.Begin(trace.CatPhase, "G")
 	defer func() {
 		stat.Duration = time.Since(start)
 		stat.AndsAfter = e.cur.NumAnds()
 		e.res.Phases = append(e.res.Phases, stat)
+		e.endPhaseSpan(&sp, &stat)
 		e.cfg.logf("phase G: checked=%d proved=%d disproved=%d ands=%d (%v)",
 			stat.Checked, stat.Proved, stat.Disproved, stat.AndsAfter, stat.Duration.Round(time.Millisecond))
 	}()
@@ -493,10 +521,12 @@ func (e *engine) phaseG() {
 func (e *engine) phaseL() int {
 	start := time.Now()
 	stat := PhaseStat{Kind: PhaseL}
+	sp := e.tb.Begin(trace.CatPhase, "L")
 	defer func() {
 		stat.Duration = time.Since(start)
 		stat.AndsAfter = e.cur.NumAnds()
 		e.res.Phases = append(e.res.Phases, stat)
+		e.endPhaseSpan(&sp, &stat)
 		e.cfg.logf("phase L: checked=%d proved=%d ands=%d (%v)",
 			stat.Checked, stat.Proved, stat.AndsAfter, stat.Duration.Round(time.Millisecond))
 	}()

@@ -39,6 +39,7 @@ const (
 // Passes is the default pass sequence of a local-function checking phase.
 var Passes = []Pass{PassFanout, PassSmallLevel, PassLargeLevel}
 
+// String names the cut-selection pass (Table I).
 func (p Pass) String() string {
 	switch p {
 	case PassFanout:

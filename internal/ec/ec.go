@@ -30,6 +30,7 @@ type Pair struct {
 	Compl  bool
 }
 
+// String renders the candidate pair for debugging.
 func (p Pair) String() string {
 	op := "=="
 	if p.Compl {

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"simsweep/internal/trace"
 )
 
 // Device executes flat index spaces in parallel. The zero value is not
@@ -41,6 +43,13 @@ import (
 type Device struct {
 	workers int
 	pool    *pool
+
+	// tracer, when set and enabled, receives per-worker task spans and
+	// worker-occupancy samples; observer, when set, is called after every
+	// launch. Both are atomic so launches never take a lock to find out
+	// that observability is off.
+	tracer   atomic.Pointer[trace.Tracer]
+	observer atomic.Pointer[func(name string, items int, d time.Duration)]
 
 	mu    sync.Mutex
 	stats map[string]*KernelStats
@@ -72,6 +81,36 @@ func NewDevice(workers int) *Device {
 // Workers reports the degree of parallelism of the device.
 func (d *Device) Workers() int { return d.workers }
 
+// SetTracer attaches (or, with nil, detaches) a trace recorder. While the
+// tracer is enabled, every launch records one span per participating
+// worker (the cross-window occupancy picture of the paper's kernel
+// profiles) plus worker-busy counter samples. Tracks are named "control"
+// (the launching goroutine) and "worker 1".."worker W". Detaching is safe
+// between launches; the engines attach a per-job tracer before a check
+// and detach it after.
+func (d *Device) SetTracer(t *trace.Tracer) {
+	if t != nil {
+		t.SetTrackName(trace.ControlTrack, "control")
+		for i := 1; i <= d.workers; i++ {
+			t.SetTrackName(int32(i), fmt.Sprintf("worker %d", i))
+		}
+	}
+	d.tracer.Store(t)
+}
+
+// SetObserver installs a callback invoked after every kernel launch with
+// the kernel name, the number of indices dispatched and the launch's
+// wall-clock time. The service layer feeds its kernel-launch-size
+// histogram from it. A nil observer (the default) costs one atomic load
+// per launch.
+func (d *Device) SetObserver(fn func(name string, items int, d time.Duration)) {
+	if fn == nil {
+		d.observer.Store(nil)
+		return
+	}
+	d.observer.Store(&fn)
+}
+
 // Close releases the worker goroutines. It is optional — a garbage-collected
 // Device closes itself — and safe to call more than once; launches after
 // Close run on the calling goroutine only.
@@ -90,7 +129,7 @@ func (d *Device) Close() {
 // in the paper.
 func (d *Device) Launch(name string, n int, fn func(i int)) {
 	start := time.Now()
-	d.parallelRange(n, func(lo, hi int) {
+	d.parallelRange(name, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}
@@ -103,7 +142,7 @@ func (d *Device) Launch(name string, n int, fn func(i int)) {
 // hot kernels (the word-level dimension of parallelism).
 func (d *Device) LaunchChunked(name string, n int, fn func(lo, hi int)) {
 	start := time.Now()
-	d.parallelRange(n, fn)
+	d.parallelRange(name, n, fn)
 	d.record(name, n, time.Since(start))
 }
 
@@ -118,6 +157,9 @@ func (d *Device) record(name string, n int, dt time.Duration) {
 	ks.Items += int64(n)
 	ks.Time += dt
 	d.mu.Unlock()
+	if obs := d.observer.Load(); obs != nil {
+		(*obs)(name, n, dt)
+	}
 }
 
 // parallelRange distributes [0, n) over the pool in contiguous chunks. The
@@ -126,7 +168,7 @@ func (d *Device) record(name string, n int, dt time.Duration) {
 // is capped at the number of chunks actually available, so a tiny index
 // space on a wide device neither degrades to per-index atomic traffic nor
 // wakes workers that would find nothing to do.
-func (d *Device) parallelRange(n int, fn func(lo, hi int)) {
+func (d *Device) parallelRange(name string, n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -146,10 +188,13 @@ func (d *Device) parallelRange(n int, fn func(lo, hi int)) {
 		return
 	}
 	t := &task{fn: fn, n: int64(n), chunk: int64(chunk), remaining: int64(n), done: make(chan struct{})}
+	if tr := d.tracer.Load(); tr.Enabled() {
+		t.tr, t.name = tr, name
+	}
 	// The launcher claims chunks too, so at most nchunks-1 helpers are
 	// useful; submit caps the wake-ups at the pool size.
 	d.pool.submit(t, nchunks-1)
-	t.run(d.pool)
+	t.run(d.pool, trace.ControlTrack)
 	if atomic.LoadInt64(&t.remaining) != 0 {
 		<-t.done
 	}
@@ -165,27 +210,52 @@ type task struct {
 	remaining int64 // atomic count of indices not yet executed
 	dequeued  int32 // atomic flag: task removed from the pool queue
 	done      chan struct{}
+
+	// tr and name are set at launch time only while tracing is enabled;
+	// workers read them to record their participation in the kernel.
+	tr   *trace.Tracer
+	name string
 }
 
-// run claims and executes chunks until the task is exhausted. Whoever
-// observes exhaustion removes the task from the queue; whoever completes
-// the final index closes done.
-func (t *task) run(p *pool) {
+// run executes the task on the given track: the plain chunk-claiming loop
+// when tracing is off, or the same loop bracketed by one per-worker span
+// and worker-occupancy counter samples when a tracer rode in on the task.
+func (t *task) run(p *pool, track int32) {
+	if t.tr == nil {
+		t.runChunks(p)
+		return
+	}
+	buf := t.tr.Buf(track)
+	buf.Counter("workers_busy", int64(atomic.AddInt32(&p.busy, 1)))
+	sp := buf.Begin(trace.CatKernel, t.name)
+	items := t.runChunks(p)
+	sp.Arg("items", items)
+	sp.End()
+	buf.Counter("workers_busy", int64(atomic.AddInt32(&p.busy, -1)))
+}
+
+// runChunks claims and executes chunks until the task is exhausted and
+// returns the number of indices this goroutine executed. Whoever observes
+// exhaustion removes the task from the queue; whoever completes the final
+// index closes done.
+func (t *task) runChunks(p *pool) int64 {
+	items := int64(0)
 	for {
 		lo := atomic.AddInt64(&t.next, t.chunk) - t.chunk
 		if lo >= t.n {
 			t.dequeue(p)
-			return
+			return items
 		}
 		hi := lo + t.chunk
 		if hi > t.n {
 			hi = t.n
 		}
 		t.fn(int(lo), int(hi))
+		items += hi - lo
 		if atomic.AddInt64(&t.remaining, lo-hi) == 0 {
 			t.dequeue(p)
 			close(t.done)
-			return
+			return items
 		}
 	}
 }
@@ -208,6 +278,7 @@ func (t *task) dequeue(p *pool) {
 // workers keep only the pool alive, letting the finalizer on Device fire.
 type pool struct {
 	workers int
+	busy    int32 // atomic: goroutines inside a traced task (occupancy)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -229,7 +300,7 @@ func (p *pool) submit(t *task, wake int) {
 	if !p.started && !p.closed {
 		p.started = true
 		for i := 0; i < p.workers; i++ {
-			go p.worker()
+			go p.worker(int32(i + 1))
 		}
 	}
 	p.queue = append(p.queue, t)
@@ -243,7 +314,9 @@ func (p *pool) submit(t *task, wake int) {
 	p.mu.Unlock()
 }
 
-func (p *pool) worker() {
+// worker is one pooled goroutine; track is its stable trace-track id
+// (1..W; the launching goroutine records on the control track).
+func (p *pool) worker(track int32) {
 	for {
 		p.mu.Lock()
 		for len(p.queue) == 0 && !p.closed {
@@ -255,7 +328,7 @@ func (p *pool) worker() {
 		}
 		t := p.queue[0]
 		p.mu.Unlock()
-		t.run(p)
+		t.run(p, track)
 	}
 }
 

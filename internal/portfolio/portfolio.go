@@ -22,6 +22,7 @@ const (
 	NotEquivalent
 )
 
+// String renders the verdict for logs.
 func (v Verdict) String() string {
 	switch v {
 	case Equivalent:

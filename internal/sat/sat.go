@@ -40,6 +40,7 @@ const (
 	Unsat
 )
 
+// String renders the solver verdict.
 func (s Status) String() string {
 	switch s {
 	case Sat:

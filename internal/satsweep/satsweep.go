@@ -16,6 +16,7 @@ import (
 	"simsweep/internal/par"
 	"simsweep/internal/sat"
 	"simsweep/internal/sim"
+	"simsweep/internal/trace"
 )
 
 // Outcome is the verdict of a CEC run.
@@ -28,6 +29,7 @@ const (
 	NotEquivalent
 )
 
+// String renders the verdict for logs and CLI output.
 func (o Outcome) String() string {
 	switch o {
 	case Equivalent:
@@ -59,6 +61,9 @@ type Options struct {
 	// index) to the random stimulus — the paper's §V "EC transferring":
 	// pairs already disproved upstream never reach the SAT solver.
 	SeedBank [][]uint64
+	// Trace, when non-nil and enabled, receives one span per SAT call
+	// with the solver status and the conflicts the call consumed.
+	Trace *trace.Tracer
 }
 
 func (o *Options) stopped() bool {
@@ -180,6 +185,7 @@ func sweepRound(cur *aig.AIG, classes *ec.Manager, partial *sim.Partial, opt Opt
 	solver.SetConflictLimit(opt.ConflictLimit)
 	enc := cnf.NewEncoder(cur, solver)
 	piIndex := piIndexOf(cur)
+	tb := opt.traceBuf()
 
 	var merges []miter.Merge
 	progressed := false
@@ -200,7 +206,7 @@ func sweepRound(cur *aig.AIG, classes *ec.Manager, partial *sim.Partial, opt Opt
 		b := aig.MakeLit(int(pair.Member), pair.Compl)
 		assume := enc.XorAssumption(a, b)
 		stats.SATCalls++
-		switch solver.Solve(assume) {
+		switch tracedSolve(tb, "sat.pair", solver, assume) {
 		case sat.Unsat:
 			stats.Proved++
 			progressed = true
@@ -226,6 +232,7 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 	solver.SetConflictLimit(opt.ConflictLimit)
 	enc := cnf.NewEncoder(cur, solver)
 	piIndex := piIndexOf(cur)
+	tb := opt.traceBuf()
 
 	var merges []miter.Merge
 	undecided := false
@@ -245,7 +252,7 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 			return res
 		}
 		res.Stats.SATCalls++
-		switch solver.Solve(enc.LitOf(po)) {
+		switch tracedSolve(tb, "sat.po", solver, enc.LitOf(po)) {
 		case sat.Unsat:
 			res.Stats.Proved++
 			// PO is constant zero: node(po) == compl flag.
@@ -274,6 +281,29 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 		res.Outcome = Equivalent
 	}
 	return res
+}
+
+// tracedSolve runs one SAT call, emitting a trace span (category "sat")
+// with the verdict and the conflicts the call consumed when tb is non-nil.
+func tracedSolve(tb *trace.Buf, name string, solver *sat.Solver, assumptions ...sat.Lit) sat.Status {
+	if tb == nil {
+		return solver.Solve(assumptions...)
+	}
+	before := solver.Stats().Conflicts
+	sp := tb.Begin(trace.CatSAT, name)
+	st := solver.Solve(assumptions...)
+	sp.Arg("conflicts", solver.Stats().Conflicts-before)
+	sp.Arg("status", int64(st))
+	sp.End()
+	return st
+}
+
+// traceBuf returns the control-track buffer when tracing is on, else nil.
+func (o *Options) traceBuf() *trace.Buf {
+	if o.Trace.Enabled() {
+		return o.Trace.Buf(trace.ControlTrack)
+	}
+	return nil
 }
 
 // piIndexOf maps PI node ids to PI positions.

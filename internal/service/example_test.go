@@ -1,0 +1,32 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"simsweep"
+	"simsweep/internal/service"
+)
+
+// Example_tracedJob submits a job with Request.Trace set, waits for it to
+// finish, and retrieves the recorded Chrome trace_event JSON — the
+// programmatic equivalent of POST /v1/jobs?trace=1 followed by
+// GET /v1/jobs/{id}/trace.
+func Example_tracedJob() {
+	a, _ := simsweep.Generate("multiplier", 5)
+	b := simsweep.Optimize(a)
+
+	svc := service.New(service.Config{MaxConcurrent: 1})
+	defer svc.Close()
+
+	j, _ := svc.Submit(service.Request{A: a, B: b, Seed: 1, Trace: true})
+	for !j.State.Terminal() {
+		time.Sleep(5 * time.Millisecond)
+		j, _ = svc.Get(j.ID)
+	}
+
+	buf, _ := svc.Trace(j.ID)
+	fmt.Println(j.State, j.Result.Outcome, j.Traced, json.Valid(buf))
+	// Output: done equivalent true true
+}

@@ -26,6 +26,9 @@ type JobRequest struct {
 	Seed          int64  `json:"seed,omitempty"`
 	ConflictLimit int64  `json:"conflict_limit,omitempty"`
 	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
+	// Trace requests an execution trace (also settable as ?trace=1);
+	// fetch it from GET /v1/jobs/{id}/trace once the job finishes.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // JobJSON is the wire representation of a job.
@@ -34,6 +37,7 @@ type JobJSON struct {
 	State   string `json:"state"`
 	Engine  string `json:"engine"`
 	Cached  bool   `json:"cached"`
+	Traced  bool   `json:"traced,omitempty"`
 	Error   string `json:"error,omitempty"`
 	Timeout string `json:"timeout,omitempty"`
 
@@ -57,6 +61,7 @@ func jobJSON(j Job) JobJSON {
 		State:          string(j.State),
 		Engine:         engineName(j.Engine),
 		Cached:         j.CacheHit,
+		Traced:         j.Traced,
 		Error:          j.Err,
 		KernelLaunches: j.KernelLaunches,
 		Created:        timeJSON(j.Created),
@@ -94,12 +99,14 @@ func timeJSON(t time.Time) string {
 
 // NewHandler exposes the service over HTTP:
 //
-//	POST   /v1/jobs      submit a check (202; 200 on an instant cache hit)
-//	GET    /v1/jobs      list retained jobs, newest first
-//	GET    /v1/jobs/{id} job status, verdict, counter-example
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /healthz      liveness
-//	GET    /metrics      text-format counters
+//	POST   /v1/jobs            submit a check (202; 200 on an instant cache
+//	                           hit); ?trace=1 records an execution trace
+//	GET    /v1/jobs            list retained jobs, newest first
+//	GET    /v1/jobs/{id}       job status, verdict, counter-example
+//	GET    /v1/jobs/{id}/trace Chrome trace_event JSON of a traced job
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /healthz            liveness
+//	GET    /metrics            text-format counters and histograms
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +128,25 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, jobJSON(j))
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		data, err := s.Trace(id)
+		if err != nil {
+			// Distinguish "job still running / untraced" from "no job".
+			if j, jerr := s.Get(id); jerr == nil {
+				if !j.State.Terminal() {
+					writeError(w, http.StatusConflict, errors.New("service: job not finished"))
+					return
+				}
+				writeError(w, http.StatusNotFound, errors.New("service: job recorded no trace"))
+				return
+			}
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, err := s.Cancel(r.PathValue("id"))
 		switch {
@@ -139,6 +165,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeMetrics(w, s.Stats())
+		s.writeHistograms(w)
 	})
 	return mux
 }
@@ -155,6 +182,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Seed:          body.Seed,
 		ConflictLimit: body.ConflictLimit,
 		Timeout:       time.Duration(body.TimeoutMS) * time.Millisecond,
+		Trace:         body.Trace || r.URL.Query().Get("trace") == "1",
 	}
 	var err error
 	if body.Miter != "" {

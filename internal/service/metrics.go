@@ -4,7 +4,87 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
+
+// Histogram bucket bounds (upper bounds, seconds or items).
+var (
+	phaseBuckets  = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+	launchBuckets = []float64{64, 256, 1024, 4096, 1 << 14, 1 << 16, 1 << 18, 1 << 20}
+	queueBuckets  = []float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30}
+)
+
+// histogram is a minimal self-synchronising Prometheus histogram:
+// cumulative bucket counts over fixed upper bounds plus sum and count.
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1, non-cumulative per bucket
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// write renders the histogram in the Prometheus text format. labels is the
+// literal label set inside the braces ("" for none, `kind="P"` etc.).
+func (h *histogram) write(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, h.sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total)
+	}
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// writeHistograms renders the service's duration and size histograms.
+func (s *Service) writeHistograms(w io.Writer) {
+	fmt.Fprintf(w, "# HELP cecd_phase_duration_seconds Duration of executed engine phases by kind (P/G/L).\n")
+	fmt.Fprintf(w, "# TYPE cecd_phase_duration_seconds histogram\n")
+	kinds := make([]string, 0, len(s.phaseHists))
+	for k := range s.phaseHists {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		s.phaseHists[k].write(w, "cecd_phase_duration_seconds", fmt.Sprintf("kind=%q", k))
+	}
+	fmt.Fprintf(w, "# HELP cecd_kernel_launch_items Index-space size of parallel kernel launches.\n")
+	fmt.Fprintf(w, "# TYPE cecd_kernel_launch_items histogram\n")
+	s.launchHist.write(w, "cecd_kernel_launch_items", "")
+	fmt.Fprintf(w, "# HELP cecd_queue_wait_seconds Time jobs spent queued before a runner picked them up.\n")
+	fmt.Fprintf(w, "# TYPE cecd_queue_wait_seconds histogram\n")
+	s.queueHist.write(w, "cecd_queue_wait_seconds", "")
+}
 
 // writeMetrics renders the counters in the Prometheus text exposition
 // format (plain counters and gauges; no client library needed).

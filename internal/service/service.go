@@ -9,6 +9,7 @@
 package service
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"simsweep"
 	"simsweep/internal/aig"
 	"simsweep/internal/par"
+	"simsweep/internal/trace"
 )
 
 // State is a job lifecycle state.
@@ -53,6 +55,11 @@ type Request struct {
 	// Timeout bounds the job's execution (not its queue wait); 0 selects
 	// the service default. It is capped at Config.MaxTimeout.
 	Timeout time.Duration
+	// Trace records the job's execution (engine phases, kernel spans,
+	// SAT calls) into a per-job tracer; the rendered Chrome trace_event
+	// JSON is retrievable with Service.Trace once the job is terminal.
+	// A cache hit runs nothing and therefore records nothing.
+	Trace bool
 }
 
 // Config sizes the service. The zero value selects sensible defaults.
@@ -126,6 +133,9 @@ type Job struct {
 	CacheHit bool
 	// KernelLaunches counts the par-device kernel launches the job issued.
 	KernelLaunches int
+	// Traced marks a job that recorded an execution trace; fetch it with
+	// Service.Trace once the job is terminal.
+	Traced bool
 }
 
 // job pairs the published record with the scheduling machinery that must
@@ -138,6 +148,10 @@ type job struct {
 	stop  chan struct{}
 	once  sync.Once
 	cause State // timeout or cancelled, set by whoever closed stop
+
+	// traceJSON is the rendered Chrome trace of a traced job, set under
+	// s.mu when the job reaches a terminal state.
+	traceJSON []byte
 }
 
 // stopNow closes the job's stop channel once, recording why.
@@ -165,6 +179,12 @@ type Service struct {
 	byOutcome    map[State]uint64
 	latencies    *latencyRing
 
+	// histograms for /metrics; each synchronises itself (the kernel
+	// launch observer fires concurrently from every runner).
+	phaseHists map[string]*histogram // phase duration by kind (P/G/L)
+	launchHist *histogram            // kernel launch sizes (items)
+	queueHist  *histogram            // queue wait (submit → start)
+
 	queue chan *job
 	wg    sync.WaitGroup
 	devs  []*par.Device
@@ -179,7 +199,14 @@ func New(cfg Config) *Service {
 		cache:     newLRU(cfg.CacheSize),
 		byOutcome: make(map[State]uint64),
 		latencies: newLatencyRing(1024),
-		queue:     make(chan *job, cfg.QueueCap),
+		phaseHists: map[string]*histogram{
+			"P": newHistogram(phaseBuckets...),
+			"G": newHistogram(phaseBuckets...),
+			"L": newHistogram(phaseBuckets...),
+		},
+		launchHist: newHistogram(launchBuckets...),
+		queueHist:  newHistogram(queueBuckets...),
+		queue:      make(chan *job, cfg.QueueCap),
 	}
 	perDev := cfg.TotalWorkers / cfg.MaxConcurrent
 	if perDev < 1 {
@@ -187,6 +214,11 @@ func New(cfg Config) *Service {
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		dev := par.NewDevice(perDev)
+		// Every kernel launch of every job feeds the launch-size
+		// histogram, whether or not the job is traced.
+		dev.SetObserver(func(name string, items int, d time.Duration) {
+			s.launchHist.observe(float64(items))
+		})
 		s.devs = append(s.devs, dev)
 		s.wg.Add(1)
 		go s.runner(dev)
@@ -295,6 +327,20 @@ func (s *Service) Get(id string) (Job, error) {
 	return j.Job, nil
 }
 
+// Trace returns the Chrome trace_event JSON recorded for a traced job.
+// It fails with ErrNotFound for unknown jobs and jobs that recorded no
+// trace (not requested, cache hit, or still running — the trace is
+// rendered when the job reaches a terminal state).
+func (s *Service) Trace(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.traceJSON == nil {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), j.traceJSON...), nil
+}
+
 // Cancel requests cooperative cancellation of a queued or running job.
 func (s *Service) Cancel(id string) (Job, error) {
 	s.mu.Lock()
@@ -355,21 +401,42 @@ func (s *Service) runJob(j *job, dev *par.Device) {
 	j.Started = time.Now()
 	s.running++
 	s.mu.Unlock()
+	s.queueHist.observe(j.Started.Sub(j.Created).Seconds())
 	s.logf("job %s: running", j.ID)
 
+	var tracer *trace.Tracer
+	if j.req.Trace {
+		tracer = trace.New(0)
+		tracer.Enable()
+	}
 	var timer *time.Timer
 	if j.Timeout > 0 {
 		timer = time.AfterFunc(j.Timeout, func() { j.stopNow(StateTimeout) })
 	}
 	launchesBefore := totalLaunches(dev)
-	res, err := s.check(j.req, dev, j.stop)
+	res, err := s.check(j.req, dev, j.stop, tracer)
 	if timer != nil {
 		timer.Stop()
+	}
+	var traceJSON []byte
+	if tracer != nil {
+		tracer.Disable()
+		var buf bytes.Buffer
+		if werr := trace.WriteChromeTrace(&buf, tracer); werr == nil {
+			traceJSON = buf.Bytes()
+		}
+	}
+	for _, p := range res.SimPhases {
+		if h := s.phaseHists[p.Kind.String()]; h != nil {
+			h.observe(p.Duration.Seconds())
+		}
 	}
 
 	s.mu.Lock()
 	j.Finished = time.Now()
 	j.KernelLaunches = totalLaunches(dev) - launchesBefore
+	j.traceJSON = traceJSON
+	j.Traced = traceJSON != nil
 	s.running--
 	switch {
 	case err != nil:
@@ -397,7 +464,7 @@ func (s *Service) runJob(j *job, dev *par.Device) {
 
 // check dispatches the engines with the runner's device and the job's stop
 // channel wired into the cooperative cancellation path.
-func (s *Service) check(req Request, dev *par.Device, stop <-chan struct{}) (simsweep.Result, error) {
+func (s *Service) check(req Request, dev *par.Device, stop <-chan struct{}, tracer *trace.Tracer) (simsweep.Result, error) {
 	opts := simsweep.Options{
 		Engine:        req.Engine,
 		Seed:          req.Seed,
@@ -405,6 +472,7 @@ func (s *Service) check(req Request, dev *par.Device, stop <-chan struct{}) (sim
 		Dev:           dev,
 		Workers:       dev.Workers(),
 		Stop:          stop,
+		Trace:         tracer,
 	}
 	if req.Miter != nil {
 		return simsweep.CheckMiter(req.Miter, opts)

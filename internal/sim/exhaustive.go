@@ -7,6 +7,7 @@ import (
 
 	"simsweep/internal/aig"
 	"simsweep/internal/par"
+	"simsweep/internal/trace"
 	"simsweep/internal/tt"
 )
 
@@ -65,6 +66,11 @@ type Exhaustive struct {
 	// windows above it are split along the word dimension. A non-positive
 	// value selects the built-in default.
 	SliceWork int
+	// Trace, when non-nil and enabled, receives one span per CheckBatch
+	// (windows, pairs, slots, entry words, rounds) and one per simulation
+	// round (tasks dispatched, word-sliced task fan-out). Costs one atomic
+	// load per batch when disabled.
+	Trace *trace.Tracer
 
 	scratch sync.Pool // *batchScratch: per-batch buffers, reused
 }
@@ -287,6 +293,14 @@ func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Res
 		sliceWork = defaultSliceWork
 	}
 
+	// Tracing is off on the common path: tb stays nil and every emit
+	// below is a no-op costing a nil check.
+	var tb *trace.Buf
+	if e.Trace.Enabled() {
+		tb = e.Trace.Buf(trace.ControlTrack)
+	}
+	bsp := tb.Begin(trace.CatSim, "exhaustive.batch")
+
 	rounds := (maxTT + E - 1) / E
 	tasks := sc.tasks[:0]
 	for r := 0; r < rounds; r++ {
@@ -328,6 +342,20 @@ func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Res
 		}
 		res.Rounds++
 
+		rsp := tb.Begin(trace.CatSim, "exhaustive.round")
+		if tb != nil {
+			sliced := 0
+			for i := range tasks {
+				if tasks[i].sliced {
+					sliced++
+				}
+			}
+			rsp.Arg("round", int64(r))
+			rsp.Arg("words", int64(E))
+			rsp.Arg("tasks", int64(len(tasks)))
+			rsp.Arg("sliced_tasks", int64(sliced))
+		}
+
 		// One launch per round over independent window tasks — the
 		// cross-window dimension needs no inter-window barrier, and the
 		// word-level and level-wise dimensions run inside each task.
@@ -337,6 +365,7 @@ func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Res
 				tasks[i].run(simt, E, rr)
 			}
 		})
+		rsp.End()
 
 		// Sequential resolution in task order (windows ascending, word
 		// ranges ascending): verdicts and counter-examples are identical
@@ -358,6 +387,13 @@ func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Res
 		}
 	}
 	sc.tasks = tasks
+	if tb != nil {
+		bsp.Arg("windows", int64(len(windows)))
+		bsp.Arg("pairs", int64(len(pairs)))
+		bsp.Arg("entry_words", int64(E))
+		bsp.Arg("rounds", int64(res.Rounds))
+	}
+	bsp.End()
 	return res
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"simsweep/internal/aig"
 	"simsweep/internal/par"
+	"simsweep/internal/trace"
 )
 
 // PIValue assigns a value to one primary input (by PI index, not node id).
@@ -28,6 +29,10 @@ type PIValue struct {
 type Partial struct {
 	dev *par.Device
 	rng *rand.Rand
+
+	// Trace, when non-nil and enabled, receives one span per Simulate
+	// call with the bank width and node count of the sweep.
+	Trace *trace.Tracer
 
 	words int        // words currently in the bank
 	bank  [][]uint64 // per PI index
@@ -118,6 +123,12 @@ func (p *Partial) AddPattern(assign []PIValue) {
 func (p *Partial) Simulate(g *aig.AIG) [][]uint64 {
 	n := g.NumNodes()
 	W := p.words
+	if p.Trace.Enabled() {
+		sp := p.Trace.Buf(trace.ControlTrack).Begin(trace.CatSim, "partial.sim")
+		sp.Arg("words", int64(W))
+		sp.Arg("nodes", int64(n))
+		defer sp.End()
+	}
 	flat := make([]uint64, n*W)
 	simOf := func(id int) []uint64 { return flat[id*W : (id+1)*W] }
 

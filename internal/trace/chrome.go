@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. Complete
+// spans use ph "X" (ts + dur), instants ph "i", counters ph "C" and track
+// names the "M" thread_name metadata record. Timestamps are microseconds,
+// fractional, since the tracer epoch.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int32                  `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace file, which Perfetto
+// and chrome://tracing both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// WriteChromeTrace flushes the tracer and renders its events in the
+// Chrome trace_event JSON format: one thread per track (a control track
+// plus one per device worker), complete-event spans, instant markers and
+// counter tracks. Load the output in chrome://tracing or
+// https://ui.perfetto.dev. Call only after recording has quiesced.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	events := t.Events()
+	names := t.TrackNames()
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+len(names))}
+
+	// Thread-name metadata first, in track order, so the viewer labels
+	// every lane.
+	tracks := make([]int32, 0, len(names))
+	for tid := range names {
+		tracks = append(tracks, tid)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+	for _, tid := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: tid,
+			Args: map[string]interface{}{"name": names[tid]},
+		})
+	}
+
+	// Events sorted by begin time; Perfetto tolerates any order but a
+	// sorted file diffs and debugs better.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			TS:   float64(e.TS) / 1e3,
+			PID:  chromePID,
+			TID:  e.Track,
+		}
+		switch e.Kind {
+		case KindSpan:
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+			// A span shorter than the 1 ns -> µs rounding still needs a
+			// positive duration or the viewer collapses it entirely.
+			if ce.Dur == 0 {
+				ce.Dur = 0.001
+			}
+		case KindInstant:
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped marker
+		case KindCounter:
+			ce.Ph = "C"
+		}
+		if e.NArg > 0 {
+			ce.Args = make(map[string]interface{}, e.NArg)
+			for _, a := range e.Args[:e.NArg] {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodedEvent mirrors the exporter's wire format for the test decoder.
+type decodedEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	PID  int                    `json:"pid"`
+	TID  int32                  `json:"tid"`
+	Args map[string]interface{} `json:"args"`
+}
+
+type decodedTrace struct {
+	TraceEvents     []decodedEvent `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+}
+
+func exportChrome(t *testing.T, tr *Tracer) decodedTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var out decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	tr := New(256)
+	tr.Enable()
+	tr.SetTrackName(ControlTrack, "control")
+	tr.SetTrackName(1, "worker 1")
+
+	ctl := tr.Buf(ControlTrack)
+	w1 := tr.Buf(1)
+
+	outer := ctl.Begin(CatPhase, "P")
+	inner := ctl.Begin(CatSim, "exhaustive.batch")
+	ksp := w1.Begin(CatKernel, "exhaustive.window")
+	ksp.Arg("items", 64)
+	ksp.End()
+	w1.Counter("workers_busy", 1)
+	inner.End()
+	outer.Arg("checked", 3)
+	outer.End()
+
+	out := exportChrome(t, tr)
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+
+	var meta, spans, counters int
+	names := map[string]bool{}
+	for _, e := range out.TraceEvents {
+		if e.PID != 1 {
+			t.Fatalf("pid = %d, want 1", e.PID)
+		}
+		switch e.Ph {
+		case "M":
+			meta++
+			names[e.Args["name"].(string)] = true
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Fatalf("span %q has non-positive dur %v", e.Name, e.Dur)
+			}
+		case "C":
+			counters++
+			if _, ok := e.Args["value"]; !ok {
+				t.Fatalf("counter %q without value arg", e.Name)
+			}
+		case "i":
+		default:
+			t.Fatalf("unknown ph %q", e.Ph)
+		}
+	}
+	if meta != 2 || !names["control"] || !names["worker 1"] {
+		t.Fatalf("metadata records = %d (%v)", meta, names)
+	}
+	if spans != 3 || counters != 1 {
+		t.Fatalf("spans = %d counters = %d", spans, counters)
+	}
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" && e.Name == "exhaustive.window" {
+			if v, ok := e.Args["items"].(float64); !ok || v != 64 {
+				t.Fatalf("kernel span args = %v", e.Args)
+			}
+		}
+	}
+}
+
+// TestChromeTraceSpanNesting verifies the complete-event invariant the
+// viewer relies on: on any single track, two spans either nest (one
+// contains the other) or are disjoint — never partially overlapping.
+func TestChromeTraceSpanNesting(t *testing.T) {
+	tr := New(1024)
+	tr.Enable()
+	b := tr.Buf(ControlTrack)
+	for i := 0; i < 8; i++ {
+		outer := b.Begin(CatPhase, "L")
+		for j := 0; j < 4; j++ {
+			inner := b.Begin(CatSim, "round")
+			inner.End()
+		}
+		outer.End()
+	}
+
+	out := exportChrome(t, tr)
+	type iv struct{ lo, hi float64 }
+	perTrack := map[int32][]iv{}
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" {
+			perTrack[e.TID] = append(perTrack[e.TID], iv{e.TS, e.TS + e.Dur})
+		}
+	}
+	// Zero-length spans are bumped to 0.001 µs by the exporter, so the
+	// containment check tolerates that much slack.
+	const eps = 0.0015
+	for tid, ivs := range perTrack {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, c := ivs[i], ivs[j]
+				disjoint := a.hi <= c.lo+eps || c.hi <= a.lo+eps
+				nested := (a.lo <= c.lo+eps && c.hi <= a.hi+eps) || (c.lo <= a.lo+eps && a.hi <= c.hi+eps)
+				if !disjoint && !nested {
+					t.Fatalf("track %d: spans [%v,%v] and [%v,%v] partially overlap",
+						tid, a.lo, a.hi, c.lo, c.hi)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	tr := New(16)
+	buf := tr.Buf(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := buf.Begin(CatKernel, "k")
+		sp.Arg("items", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(1 << 16)
+	tr.Enable()
+	buf := tr.Buf(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := buf.Begin(CatKernel, "k")
+		sp.Arg("items", int64(i))
+		sp.End()
+	}
+}

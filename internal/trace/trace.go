@@ -1,0 +1,340 @@
+// Package trace is the engine-wide observability layer: a low-overhead
+// structured event recorder the CEC engines emit into. The core engine
+// records one span per P/G/L phase, the exhaustive simulator records its
+// batches and per-round kernel launches, the parallel device records
+// per-worker task spans and worker-occupancy samples, and the SAT sweeping
+// backend records one span per SAT call — all against the same monotonic
+// clock, so a whole check can be read as a single timeline.
+//
+// The recorder is built for a hot path that is usually cold: every emit
+// site first loads one atomic enable flag, and when tracing is disabled
+// (or no Tracer is attached at all — the nil *Buf and zero Span are valid
+// no-ops) recording costs a few nanoseconds and zero allocations. When
+// enabled, events are appended to fixed-capacity per-goroutine buffers
+// (Buf) that are flushed in blocks into a single lock-free ring: a flush
+// reserves a region with one atomic add and copies into it, so recording
+// goroutines never contend on a lock. The ring is bounded; events beyond
+// the capacity are counted in Dropped rather than recorded.
+//
+// Two exporters read a quiesced tracer: WriteChromeTrace renders the
+// Chrome trace_event JSON consumed by chrome://tracing and Perfetto (one
+// track per device worker plus a control track carrying the phase spans),
+// and WritePhaseReport reconstructs the paper's Figure 6 per-phase table
+// from the phase spans.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ControlTrack is the track id of the engine's control goroutine: phase
+// spans, simulator batch/round spans and SAT-call spans land here. Device
+// workers use tracks 1..W.
+const ControlTrack int32 = 0
+
+// Kind discriminates the event types of the ring.
+type Kind uint8
+
+// Event kinds: a completed span (begin time plus duration), an instant
+// marker, and a counter sample.
+const (
+	KindSpan Kind = iota
+	KindInstant
+	KindCounter
+)
+
+// maxArgs is the fixed argument capacity of an event; Arg calls beyond it
+// are dropped silently.
+const maxArgs = 4
+
+// bufCap is the event capacity of one per-goroutine buffer; a full buffer
+// flushes itself into the ring.
+const bufCap = 128
+
+// Arg is one integer attribute of an event (allocation-free: keys are
+// expected to be string constants).
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one recorded trace event. TS is nanoseconds since the tracer's
+// epoch (monotonic); Dur is the span length in nanoseconds (spans only).
+type Event struct {
+	TS    int64
+	Dur   int64
+	Track int32
+	Kind  Kind
+	NArg  uint8
+	Name  string
+	Cat   string
+	Args  [maxArgs]Arg
+}
+
+// Tracer is the event recorder. Create one with New, attach it to the
+// engines (simsweep.Options.Trace, par.Device.SetTracer), Enable it, and
+// read it back through Events, WriteChromeTrace or WritePhaseReport after
+// the traced work has finished. A Tracer is safe for concurrent recording
+// from many goroutines as long as each goroutine writes through its own
+// track's Buf; exporters must only run once recording has quiesced.
+type Tracer struct {
+	enabled int32 // atomic: emit sites load this first
+	dropped int64 // atomic: events lost to a full ring
+	pos     int64 // atomic: next free ring slot (may overshoot len(ring))
+	epoch   time.Time
+	ring    []Event
+
+	mu     sync.Mutex
+	bufs   map[int32]*Buf
+	tracks map[int32]string
+}
+
+// DefaultCapacity is the ring capacity selected by New when cap <= 0:
+// enough for tens of thousands of kernel launches without unbounded
+// memory (the ring never grows; overflow increments Dropped).
+const DefaultCapacity = 1 << 16
+
+// New returns a disabled Tracer whose ring holds capacity events
+// (capacity <= 0 selects DefaultCapacity). The epoch — timestamp zero of
+// every event — is the moment of creation.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{
+		epoch:  time.Now(),
+		ring:   make([]Event, capacity),
+		bufs:   make(map[int32]*Buf),
+		tracks: make(map[int32]string),
+	}
+}
+
+// Enable turns recording on. Emit sites observe the flag through one
+// atomic load.
+func (t *Tracer) Enable() { atomic.StoreInt32(&t.enabled, 1) }
+
+// Disable turns recording off. In-flight buffered events stay buffered
+// until Flush.
+func (t *Tracer) Disable() { atomic.StoreInt32(&t.enabled, 0) }
+
+// Enabled reports whether recording is on. The nil Tracer is disabled.
+func (t *Tracer) Enabled() bool {
+	return t != nil && atomic.LoadInt32(&t.enabled) != 0
+}
+
+// now returns nanoseconds since the epoch on the monotonic clock.
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// SetTrackName labels a track for the Chrome exporter ("control",
+// "worker 3", ...). Unnamed tracks render as "track N".
+func (t *Tracer) SetTrackName(track int32, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tracks[track] = name
+	t.mu.Unlock()
+}
+
+// Buf returns the per-goroutine buffer of a track, creating it on first
+// use. The buffer is not safe for concurrent use: exactly one goroutine
+// may write through it at a time (the engines keep one track per worker
+// plus the control track, which satisfies this by construction). Calling
+// Buf on a nil Tracer returns nil, which is a valid no-op emitter.
+func (t *Tracer) Buf(track int32) *Buf {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	b := t.bufs[track]
+	if b == nil {
+		b = &Buf{t: t, track: track, ev: make([]Event, 0, bufCap)}
+		t.bufs[track] = b
+	}
+	t.mu.Unlock()
+	return b
+}
+
+// Flush drains every per-goroutine buffer into the ring. Call it (or any
+// exporter, which flushes first) only after recording has quiesced.
+func (t *Tracer) Flush() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	bufs := make([]*Buf, 0, len(t.bufs))
+	for _, b := range t.bufs {
+		bufs = append(bufs, b)
+	}
+	t.mu.Unlock()
+	for _, b := range bufs {
+		b.flush()
+	}
+}
+
+// Dropped reports how many events were lost to a full ring.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&t.dropped)
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	n := atomic.LoadInt64(&t.pos)
+	if n > int64(len(t.ring)) {
+		n = int64(len(t.ring))
+	}
+	return int(n)
+}
+
+// Events flushes the buffers and returns a copy of the recorded events in
+// ring order (flush blocks are contiguous; within a block, emission
+// order). Call only after recording has quiesced.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.Flush()
+	out := make([]Event, t.Len())
+	copy(out, t.ring[:len(out)])
+	return out
+}
+
+// TrackNames returns a copy of the track-name table.
+func (t *Tracer) TrackNames() map[int32]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int32]string, len(t.tracks))
+	for k, v := range t.tracks {
+		out[k] = v
+	}
+	return out
+}
+
+// reserve claims n contiguous ring slots and returns the start index, or
+// -1 when the ring is exhausted (the shortfall is added to Dropped).
+func (t *Tracer) reserve(n int) int {
+	start := atomic.AddInt64(&t.pos, int64(n)) - int64(n)
+	if start >= int64(len(t.ring)) {
+		atomic.AddInt64(&t.dropped, int64(n))
+		return -1
+	}
+	return int(start)
+}
+
+// Buf is the per-goroutine event buffer of one track. All emit methods
+// are no-ops on a nil Buf and when the owning Tracer is disabled, at the
+// cost of one atomic load and zero allocations.
+type Buf struct {
+	t     *Tracer
+	track int32
+	ev    []Event
+}
+
+// on reports whether this buffer should record.
+func (b *Buf) on() bool { return b != nil && b.t.Enabled() }
+
+// flush copies the buffered events into the ring and empties the buffer.
+func (b *Buf) flush() {
+	if b == nil || len(b.ev) == 0 {
+		return
+	}
+	n := len(b.ev)
+	if start := b.t.reserve(n); start >= 0 {
+		avail := len(b.t.ring) - start
+		if avail < n {
+			atomic.AddInt64(&b.t.dropped, int64(n-avail))
+			n = avail
+		}
+		copy(b.t.ring[start:start+n], b.ev[:n])
+	}
+	b.ev = b.ev[:0]
+}
+
+// emit appends one event, flushing the buffer when full.
+func (b *Buf) emit(e Event) {
+	if len(b.ev) == cap(b.ev) {
+		b.flush()
+	}
+	b.ev = append(b.ev, e)
+}
+
+// Begin opens a span on the buffer's track. The returned Span is a value;
+// finish it with End on the same goroutine. When the buffer is nil or the
+// tracer is disabled the zero Span is returned and End is a no-op.
+func (b *Buf) Begin(cat, name string) Span {
+	if !b.on() {
+		return Span{}
+	}
+	return Span{b: b, cat: cat, name: name, start: b.t.now()}
+}
+
+// Counter records a counter sample (rendered as a counter track by the
+// Chrome exporter).
+func (b *Buf) Counter(name string, val int64) {
+	if !b.on() {
+		return
+	}
+	e := Event{TS: b.t.now(), Track: b.track, Kind: KindCounter, Name: name, Cat: "counter", NArg: 1}
+	e.Args[0] = Arg{Key: "value", Val: val}
+	b.emit(e)
+}
+
+// Instant records a zero-duration marker event.
+func (b *Buf) Instant(cat, name string) {
+	if !b.on() {
+		return
+	}
+	b.emit(Event{TS: b.t.now(), Track: b.track, Kind: KindInstant, Name: name, Cat: cat})
+}
+
+// Span is an open interval on one track. The zero Span (from a disabled
+// or absent tracer) ignores Arg and End.
+type Span struct {
+	b     *Buf
+	start int64
+	name  string
+	cat   string
+	nargs uint8
+	args  [maxArgs]Arg
+}
+
+// Arg attaches an integer attribute to the span (up to 4; extra args are
+// dropped). Keys should be string constants so recording stays
+// allocation-free.
+func (s *Span) Arg(key string, val int64) {
+	if s.b == nil || s.nargs >= maxArgs {
+		return
+	}
+	s.args[s.nargs] = Arg{Key: key, Val: val}
+	s.nargs++
+}
+
+// End closes the span and records it as one complete event.
+func (s *Span) End() {
+	if s.b == nil {
+		return
+	}
+	e := Event{
+		TS:    s.start,
+		Dur:   s.b.t.now() - s.start,
+		Track: s.b.track,
+		Kind:  KindSpan,
+		Name:  s.name,
+		Cat:   s.cat,
+		NArg:  s.nargs,
+		Args:  s.args,
+	}
+	s.b.emit(e)
+	s.b = nil
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndReadBack(t *testing.T) {
+	tr := New(64)
+	tr.Enable()
+	b := tr.Buf(ControlTrack)
+
+	sp := b.Begin(CatPhase, "P")
+	sp.Arg("checked", 7)
+	sp.Arg("proved", 5)
+	b.Counter("occupancy", 3)
+	b.Instant(CatEngine, "marker")
+	sp.End()
+
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	byKind := map[Kind]int{}
+	for _, e := range events {
+		byKind[e.Kind]++
+		if e.Track != ControlTrack {
+			t.Fatalf("event on track %d, want control", e.Track)
+		}
+	}
+	if byKind[KindSpan] != 1 || byKind[KindCounter] != 1 || byKind[KindInstant] != 1 {
+		t.Fatalf("kind histogram = %v", byKind)
+	}
+	for _, e := range events {
+		if e.Kind != KindSpan {
+			continue
+		}
+		if e.Name != "P" || e.Cat != CatPhase {
+			t.Fatalf("span = %q/%q", e.Cat, e.Name)
+		}
+		if e.NArg != 2 || argOf(e, "checked", -1) != 7 || argOf(e, "proved", -1) != 5 {
+			t.Fatalf("span args = %v (n=%d)", e.Args, e.NArg)
+		}
+		if e.Dur < 0 {
+			t.Fatalf("negative duration %d", e.Dur)
+		}
+	}
+}
+
+func TestNilAndDisabledAreNoOps(t *testing.T) {
+	// The nil tracer and its derived emitters must be safe everywhere.
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	b := tr.Buf(0)
+	if b != nil {
+		t.Fatal("nil tracer returned a buffer")
+	}
+	sp := b.Begin("cat", "name")
+	sp.Arg("k", 1)
+	sp.End()
+	b.Counter("c", 1)
+	b.Instant("cat", "i")
+	tr.Flush()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+
+	// A real but disabled tracer records nothing either.
+	tr2 := New(16)
+	b2 := tr2.Buf(0)
+	sp2 := b2.Begin("cat", "name")
+	sp2.End()
+	b2.Counter("c", 1)
+	if got := len(tr2.Events()); got != 0 {
+		t.Fatalf("disabled tracer recorded %d events", got)
+	}
+}
+
+func TestRingOverflowCountsDropped(t *testing.T) {
+	tr := New(4)
+	tr.Enable()
+	b := tr.Buf(0)
+	for i := 0; i < 300; i++ { // > bufCap + ring capacity
+		b.Counter("c", int64(i))
+	}
+	tr.Flush()
+	if tr.Len() != 4 {
+		t.Fatalf("ring holds %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 296 {
+		t.Fatalf("dropped = %d, want 296", tr.Dropped())
+	}
+}
+
+func TestSpanArgOverflowIsSilent(t *testing.T) {
+	tr := New(16)
+	tr.Enable()
+	sp := tr.Buf(0).Begin("cat", "n")
+	for i := 0; i < maxArgs+3; i++ {
+		sp.Arg("k", int64(i))
+	}
+	sp.End()
+	e := tr.Events()[0]
+	if e.NArg != maxArgs {
+		t.Fatalf("nargs = %d, want %d", e.NArg, maxArgs)
+	}
+}
+
+func TestDisabledRecordingAllocatesNothing(t *testing.T) {
+	tr := New(16)
+	b := tr.Buf(0) // created while disabled; emitters below must be free
+	var nilBuf *Buf
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := b.Begin(CatSim, "window")
+		sp.Arg("items", 42)
+		sp.End()
+		b.Counter("busy", 1)
+		b.Instant(CatSim, "i")
+
+		nsp := nilBuf.Begin(CatSim, "window")
+		nsp.End()
+		nilBuf.Counter("busy", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recording allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestEnabledSpanDoesNotAllocatePerEvent(t *testing.T) {
+	tr := New(1 << 20)
+	tr.Enable()
+	b := tr.Buf(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := b.Begin(CatKernel, "k")
+		sp.Arg("items", 1)
+		sp.End()
+	})
+	// The buffer flush path reuses its backing array; steady-state
+	// recording must not allocate.
+	if allocs != 0 {
+		t.Fatalf("enabled recording allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestPhaseRowsAndReport(t *testing.T) {
+	tr := New(64)
+	tr.Enable()
+	b := tr.Buf(ControlTrack)
+
+	esp := b.Begin(CatEngine, "core.check")
+	for i, kind := range []string{"P", "G", "L"} {
+		sp := b.Begin(CatPhase, kind)
+		sp.Arg("checked", int64(10*(i+1)))
+		sp.Arg("proved", int64(i))
+		sp.Arg("disproved", 1)
+		sp.Arg("ands", int64(100-10*i))
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	esp.Arg("initial_ands", 100)
+	esp.Arg("final_ands", 80)
+	esp.End()
+
+	rows := PhaseRows(tr)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i, kind := range []string{"P", "G", "L"} {
+		r := rows[i]
+		if r.Kind != kind {
+			t.Fatalf("row %d kind = %q, want %q", i, r.Kind, kind)
+		}
+		if r.Checked != int64(10*(i+1)) || r.Proved != int64(i) || r.Disproved != 1 {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+		if r.Duration < time.Millisecond {
+			t.Fatalf("row %d duration = %v", i, r.Duration)
+		}
+		if i > 0 && rows[i].Start < rows[i-1].Start {
+			t.Fatalf("rows out of order: %v after %v", rows[i].Start, rows[i-1].Start)
+		}
+	}
+
+	var report bytes.Buffer
+	WritePhaseReport(&report, tr)
+	out := report.String()
+	for _, want := range []string{"phase", "total", "initial ands 100", "final ands 80"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPhaseReportEmpty(t *testing.T) {
+	var report bytes.Buffer
+	WritePhaseReport(&report, New(4))
+	if !strings.Contains(report.String(), "no phase spans") {
+		t.Fatalf("empty report = %q", report.String())
+	}
+}

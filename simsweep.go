@@ -38,6 +38,7 @@ import (
 	"simsweep/internal/par"
 	"simsweep/internal/portfolio"
 	"simsweep/internal/satsweep"
+	"simsweep/internal/trace"
 	"simsweep/internal/verilog"
 )
 
@@ -160,6 +161,7 @@ const (
 	NotEquivalent
 )
 
+// String renders the verdict for logs and CLI output.
 func (o Outcome) String() string {
 	switch o {
 	case Equivalent:
@@ -210,7 +212,38 @@ type Options struct {
 	// Log, when non-nil, receives per-phase progress lines from the
 	// simulation engine.
 	Log io.Writer
+	// Trace, when non-nil and enabled, records the check: engine phases,
+	// simulator batches, per-worker kernel spans and SAT calls. The
+	// tracer is attached to the device for the duration of the check, so
+	// a shared Device must not run concurrent checks while one of them
+	// is traced. Export with trace.WriteChromeTrace or
+	// trace.WritePhaseReport. The portfolio engine does not trace its
+	// racing members.
+	Trace *Tracer
 }
+
+// Tracer re-exports the trace recorder (see internal/trace). Create one
+// with NewTracer, pass it via Options.Trace, and export the collected
+// events after the check.
+type Tracer = trace.Tracer
+
+// NewTracer returns an enabled trace recorder holding up to capacity
+// events (0: a default of 64k). Recording into a full tracer drops events
+// and counts them (Tracer.Dropped).
+func NewTracer(capacity int) *Tracer {
+	t := trace.New(capacity)
+	t.Enable()
+	return t
+}
+
+// WriteChromeTrace exports a tracer's events as Chrome trace_event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return trace.WriteChromeTrace(w, t) }
+
+// WritePhaseReport renders the phase breakdown of a traced check as a
+// text table (the paper's Figure 6 view: per-phase runtime share and
+// proof counts).
+func WritePhaseReport(w io.Writer, t *Tracer) { trace.WritePhaseReport(w, t) }
 
 // PhaseStat re-exports the engine's per-phase record.
 type PhaseStat = core.PhaseStat
@@ -275,6 +308,10 @@ func checkMiter(m *AIG, o Options) (Result, error) {
 	if dev == nil {
 		dev = par.NewDevice(o.Workers)
 	}
+	if o.Trace.Enabled() {
+		dev.SetTracer(o.Trace)
+		defer dev.SetTracer(nil)
+	}
 	switch o.Engine {
 	case "", EngineHybrid:
 		return runHybrid(m, o, dev), nil
@@ -307,6 +344,7 @@ func (o Options) simConfig(dev *par.Device) core.Config {
 	if o.Log != nil {
 		cfg.Log = o.Log
 	}
+	cfg.Trace = o.Trace
 	return cfg
 }
 
@@ -352,6 +390,7 @@ func runSAT(m *AIG, o Options, dev *par.Device) Result {
 		ConflictLimit: o.ConflictLimit,
 		Seed:          o.Seed,
 		Stop:          o.Stop,
+		Trace:         o.Trace,
 	})
 	return Result{
 		Outcome:    outcomeOfSweep(sr.Outcome),
@@ -406,6 +445,7 @@ func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 		Seed:          o.Seed,
 		Stop:          o.Stop,
 		SeedBank:      cr.PatternBank,
+		Trace:         o.Trace,
 	})
 	r.SATTime = time.Since(satStart)
 	r.Outcome = outcomeOfSweep(sr.Outcome)
