@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test doccheck race service-race trace-race bench benchtab bench-service
+.PHONY: all build test doccheck race service-race trace-race bench benchtab bench-service fuzz fuzz-soak bench-difftest
 
-all: build doccheck test
+all: build doccheck test fuzz
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,27 @@ service-race:
 trace-race:
 	$(GO) test -race ./internal/trace/...
 	$(GO) test -race -run 'TestDaemonTracedJob|TestTraceMatchesPhaseStats' ./cmd/cecd/... ./internal/core/...
+
+# Short race-enabled differential sweep: every backend cross-checked on
+# 50 seeded random miters plus a replay of the checked-in reproducer
+# corpus and the native fuzz seed corpora. Deterministic; any failure is
+# a cross-backend disagreement or a broken counter-example contract.
+fuzz:
+	$(GO) test -race -run 'TestCorpusReplay|TestRunCleanOnDefaultRoster|Fuzz' ./internal/difftest/
+	$(GO) run ./cmd/cecfuzz -seed 1 -n 50
+
+# Long-form soak: a large seeded sweep with metamorphic re-checks and
+# shrinking, then open-ended native fuzzing of the backend-agreement
+# property (override FUZZTIME to go longer).
+FUZZTIME ?= 30s
+fuzz-soak:
+	$(GO) run ./cmd/cecfuzz -seed 1 -n 2000 -shrink -timing
+	$(GO) test -race -fuzz FuzzBackendAgreement -fuzztime $(FUZZTIME) ./internal/difftest/
+
+# Differential smoke row for the bench report: agreement rate + per-backend
+# timing into BENCH_difftest.json.
+bench-difftest:
+	$(GO) run ./cmd/benchtab -difftest
 
 bench:
 	$(GO) test -bench 'BenchmarkExhaustiveCheckBatch|BenchmarkDeviceLaunch' -benchmem ./internal/par/ ./internal/sim/

@@ -43,8 +43,18 @@ func run() int {
 	svcJSON := flag.String("servicejson", "BENCH_service.json", "service benchmark report path")
 	svcJobs := flag.Int("service-jobs", 2, "concurrent jobs (K) for -service")
 	svcRounds := flag.Int("service-rounds", 3, "workload replay rounds for -service (round 1 misses, later rounds hit the cache)")
+	dtBench := flag.Bool("difftest", false, "run the differential-harness smoke sweep and record the backend agreement rate")
+	dtJSON := flag.String("difftestjson", "BENCH_difftest.json", "difftest smoke report path")
+	dtN := flag.Int("difftest-n", 50, "cases for the -difftest sweep")
 	flag.Parse()
 
+	if *dtBench {
+		if err := runDifftestBench(*dtJSON, *seed, *dtN, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		return 0
+	}
 	if *svcBench {
 		if err := runServiceBench(*svcJSON, *svcJobs, *workers, *svcRounds); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)

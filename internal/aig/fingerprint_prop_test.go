@@ -1,0 +1,209 @@
+package aig_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/gen"
+)
+
+// The service layer's result cache keys on Fingerprint(): a collision
+// between functionally different circuits would silently serve a wrong
+// cached verdict, and an instability under node renumbering would miss
+// cache hits it should take. These property tests fuzz both directions
+// over random circuits: the fingerprint must be invariant under any
+// topological renumbering of the DAG, and must diverge when the structure
+// is perturbed (a complemented edge — the differential harness's gateflip
+// mutation).
+
+// rebuildShuffled reconstructs g with AND nodes created in a random
+// topological order (every node is built only after both fanins), yielding
+// the same strashed structure under completely different node ids.
+func rebuildShuffled(g *aig.AIG, rng *rand.Rand) *aig.AIG {
+	out := aig.New()
+	out.Name = g.Name
+	lit := make([]aig.Lit, g.NumNodes())
+	done := make([]bool, g.NumNodes())
+	lit[0] = aig.False
+	done[0] = true
+	for i := 0; i < g.NumPIs(); i++ {
+		id := g.PIID(i)
+		lit[id] = out.AddPI()
+		done[id] = true
+	}
+	var pending []int
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) {
+			pending = append(pending, id)
+		}
+	}
+	for len(pending) > 0 {
+		// Collect the ready nodes and pick one at random.
+		ready := pending[:0:0]
+		var rest []int
+		for _, id := range pending {
+			f0, f1 := g.Fanins(id)
+			if done[f0.ID()] && done[f1.ID()] {
+				ready = append(ready, id)
+			} else {
+				rest = append(rest, id)
+			}
+		}
+		pick := rng.Intn(len(ready))
+		for i, id := range ready {
+			if i == pick {
+				f0, f1 := g.Fanins(id)
+				lit[id] = out.And(
+					lit[f0.ID()].NotIf(f0.IsCompl()),
+					lit[f1.ID()].NotIf(f1.IsCompl()),
+				)
+				done[id] = true
+			} else {
+				rest = append(rest, id)
+			}
+		}
+		pending = rest
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		out.AddPO(lit[po.ID()].NotIf(po.IsCompl()))
+	}
+	return out
+}
+
+// rebuildFlipped reconstructs g with one AND fanin edge complemented — a
+// minimal structural (and almost always functional) perturbation.
+func rebuildFlipped(g *aig.AIG, target int, side int) *aig.AIG {
+	out := aig.New()
+	out.Name = g.Name
+	lit := make([]aig.Lit, g.NumNodes())
+	lit[0] = aig.False
+	for i := 0; i < g.NumPIs(); i++ {
+		lit[g.PIID(i)] = out.AddPI()
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		a := lit[f0.ID()].NotIf(f0.IsCompl())
+		b := lit[f1.ID()].NotIf(f1.IsCompl())
+		if id == target {
+			if side == 0 {
+				a = a.Not()
+			} else {
+				b = b.Not()
+			}
+		}
+		lit[id] = out.And(a, b)
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		out.AddPO(lit[po.ID()].NotIf(po.IsCompl()))
+	}
+	return out
+}
+
+// reachableAnds lists the AND nodes inside some PO cone — flipping an edge
+// outside every cone cannot (and must not) change the fingerprint.
+func reachableAnds(g *aig.AIG) []int {
+	var roots []int
+	for i := 0; i < g.NumPOs(); i++ {
+		roots = append(roots, g.PO(i).ID())
+	}
+	cone := g.ConeNodes(roots, nil)
+	out := make([]int, len(cone))
+	for i, id := range cone {
+		out[i] = int(id)
+	}
+	return out
+}
+
+func fingerprintInvarianceProperty(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := gen.Random(3+rng.Intn(10), 1+rng.Intn(4), 10+rng.Intn(120), rng.Int63())
+	fp := g.Fingerprint()
+
+	// Renumbering invariance: three independent shuffles.
+	for k := 0; k < 3; k++ {
+		sh := rebuildShuffled(g, rng)
+		if err := sh.Validate(); err != nil {
+			t.Fatalf("seed %d: shuffled rebuild invalid: %v", seed, err)
+		}
+		if got := sh.Fingerprint(); got != fp {
+			t.Fatalf("seed %d shuffle %d: fingerprint changed under renumbering: %x vs %x", seed, k, got, fp)
+		}
+	}
+
+	// Mutation divergence: a flipped edge that changes some output
+	// function (checked by evaluation — a flip can land in a don't-care
+	// cone and be absorbed) must move the fingerprint. Equal fingerprints
+	// over inequivalent circuits would be exactly the cache collision
+	// that serves a wrong verdict.
+	ands := reachableAnds(g)
+	if len(ands) == 0 {
+		return
+	}
+	target := ands[rng.Intn(len(ands))]
+	mut := rebuildFlipped(g, target, rng.Intn(2))
+	if !functionsDiffer(g, mut, rng) {
+		return // absorbed mutation: nothing to assert
+	}
+	if got := mut.Fingerprint(); got == fp {
+		t.Fatalf("seed %d: fingerprint %x collides across inequivalent circuits (flipped edge of node %d)", seed, fp, target)
+	}
+}
+
+// functionsDiffer reports whether some output of a and b disagrees:
+// exhaustively for narrow circuits, over 512 random patterns otherwise.
+func functionsDiffer(a, b *aig.AIG, rng *rand.Rand) bool {
+	n := a.NumPIs()
+	in := make([]bool, n)
+	check := func() bool {
+		va, vb := a.Eval(in), b.Eval(in)
+		for k := range va {
+			if va[k] != vb[k] {
+				return true
+			}
+		}
+		return false
+	}
+	if n <= 10 {
+		for x := 0; x < 1<<uint(n); x++ {
+			for i := range in {
+				in[i] = x>>uint(i)&1 == 1
+			}
+			if check() {
+				return true
+			}
+		}
+		return false
+	}
+	for trial := 0; trial < 512; trial++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		if check() {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFingerprintInvarianceProperties(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		fingerprintInvarianceProperty(t, seed)
+	}
+}
+
+// FuzzFingerprintInvariance explores the same property over fuzzer-chosen
+// seeds: equality is invariant under node renumbering, and a structural
+// mutation diverges.
+func FuzzFingerprintInvariance(f *testing.F) {
+	for _, s := range []int64{1, 17, 4242} {
+		f.Add(s)
+	}
+	f.Fuzz(fingerprintInvarianceProperty)
+}

@@ -1,0 +1,173 @@
+// Package difftest is the differential and metamorphic fuzzing harness of
+// the CEC engine zoo. The repo carries several independent deciders — the
+// simulation-sweeping core under multiple configurations, the hybrid flow,
+// the ABC-style SAT sweeper, the BDD engine and the portfolio checker —
+// and the paper's central claim is that they all return the same verdicts.
+// This package generates seeded random miters (equivalent by construction,
+// or mutated to be inequivalent with a known witness), runs every backend
+// on each, and fails on:
+//
+//   - any verdict disagreement between two decided backends,
+//   - any disagreement with the ground truth established at generation
+//     time (a brute-force truth-table oracle for small circuits, or a
+//     validated witness),
+//   - any NotEquivalent verdict whose counter-example does not actually
+//     distinguish the outputs when replayed through the simulator,
+//   - any metamorphic violation: the verdict must be invariant under PI
+//     permutation, structural re-hashing and resyn2 restructuring.
+//
+// Failing miters are shrunk by iterative cone removal to a minimal
+// reproducer and written to a corpus directory in ASCII AIGER form; the
+// checked-in corpus under testdata/difftest/corpus is replayed on every
+// go test run, so past disagreements become permanent regressions.
+//
+// Everything is seed-driven and deterministic: the same seed produces the
+// same cases, the same log bytes and the same corpus files.
+package difftest
+
+import (
+	"time"
+
+	"simsweep"
+	"simsweep/internal/aig"
+	"simsweep/internal/core"
+)
+
+// Verdict is a backend's answer on a miter.
+type Verdict int
+
+// Verdicts. Undecided is legal for incomplete backends (the simulation
+// engine on its own may exhaust its phases) and never counts as a
+// disagreement.
+const (
+	Undecided Verdict = iota
+	Equivalent
+	NotEquivalent
+)
+
+// String renders the verdict for logs ("EQ", "NEQ", "UND").
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "EQ"
+	case NotEquivalent:
+		return "NEQ"
+	}
+	return "UND"
+}
+
+// BackendResult is one backend's answer on one miter.
+type BackendResult struct {
+	Verdict Verdict
+	// CEX is the miter-PI assignment the backend offered for a
+	// NotEquivalent verdict. The harness replays it; a NEQ verdict with a
+	// missing or non-distinguishing CEX is a contract violation.
+	CEX     []bool
+	Runtime time.Duration
+}
+
+// Backend is one decider under differential test. Check must be safe to
+// call repeatedly and from the single fuzzing goroutine; the harness
+// measures its runtime around the call.
+type Backend struct {
+	Name string
+	// Complete marks backends that must always decide small miters;
+	// an Undecided answer from a complete backend is reported as a
+	// failure rather than silently tolerated.
+	Complete bool
+	// MaxPIs bounds the miter width the backend accepts (0: unbounded).
+	// The truth-table oracle sets 16.
+	MaxPIs int
+	Check  func(m *aig.AIG) BackendResult
+}
+
+// Applicable reports whether the backend can run on an m-wide miter.
+func (b *Backend) Applicable(m *aig.AIG) bool {
+	return b.MaxPIs == 0 || m.NumPIs() <= b.MaxPIs
+}
+
+// facadeBackend wraps a facade engine selection as a Backend.
+func facadeBackend(name string, complete bool, workers int, seed int64, cfg *core.Config, engine simsweep.Engine) Backend {
+	return Backend{
+		Name:     name,
+		Complete: complete,
+		Check: func(m *aig.AIG) BackendResult {
+			r, err := simsweep.CheckMiter(m, simsweep.Options{
+				Engine:    engine,
+				Workers:   workers,
+				Seed:      seed,
+				SimConfig: cfg,
+			})
+			if err != nil {
+				return BackendResult{Verdict: Undecided}
+			}
+			return BackendResult{Verdict: verdictOfOutcome(r.Outcome), CEX: r.CEX}
+		},
+	}
+}
+
+func verdictOfOutcome(o simsweep.Outcome) Verdict {
+	switch o {
+	case simsweep.Equivalent:
+		return Equivalent
+	case simsweep.NotEquivalent:
+		return NotEquivalent
+	}
+	return Undecided
+}
+
+// tightConfig is a deliberately starved engine configuration: tiny windows,
+// a small memory budget forcing multi-round exhaustive simulation, forced
+// work slicing and few local phases. It exercises the windowing/round logic
+// where simulation-vs-SAT disagreement bugs historically hide.
+func tightConfig() *core.Config {
+	return &core.Config{
+		KP:             8,
+		Kp:             4,
+		Kg:             4,
+		Kl:             4,
+		C:              4,
+		SimWords:       2,
+		MemBudgetWords: 1 << 10,
+		SimSliceWork:   64,
+		MaxLocalPhases: 3,
+	}
+}
+
+// extConfig enables every §V extension at once: distance-1 CEX patterns,
+// guided patterns, adaptive passes and rewrite interleaving.
+func extConfig() *core.Config {
+	c := core.DefaultConfig()
+	c.Distance1CEX = true
+	c.GuidedPatterns = true
+	c.AdaptivePasses = true
+	c.InterleaveRewrite = true
+	return &c
+}
+
+// DefaultBackends returns the full differential roster: the brute-force
+// truth-table oracle (≤16 PIs), the simulation engine under three
+// configurations (paper defaults, a starved windowing configuration and
+// the all-extensions configuration), the hybrid flow, standalone SAT
+// sweeping with unlimited conflicts, the BDD engine and the portfolio.
+// The oracle, hybrid, SAT, BDD and portfolio backends are complete on the
+// small circuits the harness generates; the sim-only backends may return
+// Undecided, which the harness tolerates.
+//
+// workers bounds each backend's parallel device (0: all CPUs); seed drives
+// the backends' internal random stimulus (independent of case generation).
+func DefaultBackends(workers int, seed int64) []Backend {
+	return []Backend{
+		{Name: "oracle", Complete: true, MaxPIs: OracleMaxPIs, Check: func(m *aig.AIG) BackendResult {
+			v, cex := TruthTable(m)
+			return BackendResult{Verdict: v, CEX: cex}
+		}},
+		facadeBackend("sim", false, workers, seed, nil, simsweep.EngineSim),
+		facadeBackend("sim-tight", false, workers, seed, tightConfig(), simsweep.EngineSim),
+		facadeBackend("sim-ext", false, workers, seed, extConfig(), simsweep.EngineSim),
+		facadeBackend("hybrid", true, workers, seed, nil, simsweep.EngineHybrid),
+		facadeBackend("sat", true, workers, seed, nil, simsweep.EngineSAT),
+		facadeBackend("bdd", true, workers, seed, nil, simsweep.EngineBDD),
+		facadeBackend("portfolio", true, workers, seed, nil, simsweep.EnginePortfolio),
+	}
+}

@@ -1,0 +1,307 @@
+package difftest
+
+import (
+	"math/rand"
+
+	"simsweep/internal/aig"
+)
+
+// The NEQ mutator catalogue. Each mutator takes a circuit and returns a
+// structurally perturbed copy; the perturbation usually — but not always —
+// changes some output function (a flip inside a don't-care cone is
+// absorbed), so the generator re-establishes ground truth with the oracle
+// afterwards rather than trusting the mutation blindly.
+
+// copyWith rebuilds g through the structural hasher, mapping every node
+// through lit: lit[id] must hold the out-graph literal of in-graph node id
+// by the time id's fanouts are rebuilt. mapAnd, when non-nil, intercepts
+// the rebuild of a single AND node and returns its replacement literal.
+func copyWith(g *aig.AIG, piLit func(out *aig.AIG, piIndex int) aig.Lit,
+	mapAnd func(out *aig.AIG, id int, f0, f1 aig.Lit) aig.Lit) *aig.AIG {
+	out := aig.New()
+	out.Name = g.Name
+	lit := make([]aig.Lit, g.NumNodes())
+	lit[0] = aig.False
+	for i := 0; i < g.NumPIs(); i++ {
+		lit[g.PIID(i)] = piLit(out, i)
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		a := lit[f0.ID()].NotIf(f0.IsCompl())
+		b := lit[f1.ID()].NotIf(f1.IsCompl())
+		if mapAnd != nil {
+			lit[id] = mapAnd(out, id, a, b)
+		} else {
+			lit[id] = out.And(a, b)
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		out.AddPO(lit[po.ID()].NotIf(po.IsCompl()))
+	}
+	return out
+}
+
+// identityPIs adds PIs in positional order — the common piLit hook.
+func identityPIs(out *aig.AIG, _ int) aig.Lit { return out.AddPI() }
+
+// randomAnd picks a uniformly random AND node id of g, or 0 when g has
+// none.
+func randomAnd(g *aig.AIG, rng *rand.Rand) int {
+	var ands []int
+	for id := 1; id < g.NumNodes(); id++ {
+		if g.IsAnd(id) {
+			ands = append(ands, id)
+		}
+	}
+	if len(ands) == 0 {
+		return 0
+	}
+	return ands[rng.Intn(len(ands))]
+}
+
+// MutateGateFlip complements one fanin edge of one random AND gate — the
+// classic single-point netlist defect.
+func MutateGateFlip(g *aig.AIG, rng *rand.Rand) (*aig.AIG, bool) {
+	target := randomAnd(g, rng)
+	if target == 0 {
+		return nil, false
+	}
+	side := rng.Intn(2)
+	out := copyWith(g, identityPIs, func(out *aig.AIG, id int, a, b aig.Lit) aig.Lit {
+		if id == target {
+			if side == 0 {
+				a = a.Not()
+			} else {
+				b = b.Not()
+			}
+		}
+		return out.And(a, b)
+	})
+	return out, true
+}
+
+// MutateInputSwap exchanges two primary-input positions. Because miters
+// match PIs positionally, swapping inputs of one half of a pair models a
+// wiring transposition.
+func MutateInputSwap(g *aig.AIG, rng *rand.Rand) (*aig.AIG, bool) {
+	n := g.NumPIs()
+	if n < 2 {
+		return nil, false
+	}
+	i := rng.Intn(n)
+	j := rng.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	perm := make([]int, n)
+	for k := range perm {
+		perm[k] = k
+	}
+	perm[i], perm[j] = perm[j], perm[i]
+	return PermutePIs(g, perm), true
+}
+
+// MutateConstInject stucks one random AND gate at a constant (stuck-at-0
+// or stuck-at-1), the standard fault-model defect.
+func MutateConstInject(g *aig.AIG, rng *rand.Rand) (*aig.AIG, bool) {
+	target := randomAnd(g, rng)
+	if target == 0 {
+		return nil, false
+	}
+	c := aig.False
+	if rng.Intn(2) == 1 {
+		c = aig.True
+	}
+	out := copyWith(g, identityPIs, func(out *aig.AIG, id int, a, b aig.Lit) aig.Lit {
+		if id == target {
+			return c
+		}
+		return out.And(a, b)
+	})
+	return out, true
+}
+
+// MutateConeDup duplicates the driver cone of one random output with a
+// single fanin edge complemented deep inside the duplicate, and redirects
+// the output to the perturbed copy. Structural hashing shares whatever the
+// flip does not reach, so the mutant diverges structurally over a whole
+// cone while most of the netlist stays merged — the shape that stresses
+// sweeping engines' equivalence classes hardest.
+func MutateConeDup(g *aig.AIG, rng *rand.Rand) (*aig.AIG, bool) {
+	if g.NumPOs() == 0 {
+		return nil, false
+	}
+	poIdx := rng.Intn(g.NumPOs())
+	root := g.PO(poIdx).ID()
+	cone := g.ConeNodes([]int{root}, nil)
+	if len(cone) == 0 {
+		return nil, false
+	}
+	flip := int(cone[rng.Intn(len(cone))])
+	side := rng.Intn(2)
+
+	out := copyWith(g, identityPIs, nil)
+	// Rebuild the cone a second time with the flip applied; copyWith gave
+	// node id of g the same id in out only by coincidence, so track the
+	// duplicate literals separately, seeded from the unperturbed rebuild.
+	base := copyLits(g, out)
+	dup := make(map[int]aig.Lit, len(cone))
+	litOf := func(l aig.Lit) aig.Lit {
+		if d, ok := dup[l.ID()]; ok {
+			return d.NotIf(l.IsCompl())
+		}
+		return base[l.ID()].NotIf(l.IsCompl())
+	}
+	for _, id32 := range cone {
+		id := int(id32)
+		f0, f1 := g.Fanins(id)
+		a, b := litOf(f0), litOf(f1)
+		if id == flip {
+			if side == 0 {
+				a = a.Not()
+			} else {
+				b = b.Not()
+			}
+		}
+		dup[id] = out.And(a, b)
+	}
+	po := g.PO(poIdx)
+	out.SetPO(poIdx, litOf(po.Regular()).NotIf(po.IsCompl()))
+	return out, true
+}
+
+// copyLits recomputes the literal map of an unperturbed copy of g inside
+// out (idempotent thanks to strashing: every And call hits the table).
+func copyLits(g *aig.AIG, out *aig.AIG) []aig.Lit {
+	lit := make([]aig.Lit, g.NumNodes())
+	lit[0] = aig.False
+	for i := 0; i < g.NumPIs(); i++ {
+		lit[g.PIID(i)] = out.PI(i)
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		lit[id] = out.And(
+			lit[f0.ID()].NotIf(f0.IsCompl()),
+			lit[f1.ID()].NotIf(f1.IsCompl()),
+		)
+	}
+	return lit
+}
+
+// Mutator is a named entry of the catalogue.
+type Mutator struct {
+	Name  string
+	Apply func(*aig.AIG, *rand.Rand) (*aig.AIG, bool)
+}
+
+// Mutators lists the catalogue in a fixed order (the generator indexes it
+// with seeded randomness, so order is part of the determinism contract).
+func Mutators() []Mutator {
+	return []Mutator{
+		{Name: "gateflip", Apply: MutateGateFlip},
+		{Name: "inputswap", Apply: MutateInputSwap},
+		{Name: "constinject", Apply: MutateConstInject},
+		{Name: "conedup", Apply: MutateConeDup},
+	}
+}
+
+// PermutePIs rebuilds g with its primary inputs re-ordered: new input i
+// takes the role of old input perm[i]. Output functions are preserved up
+// to the input renaming — the metamorphic transform of the harness.
+func PermutePIs(g *aig.AIG, perm []int) *aig.AIG {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	out := aig.New()
+	out.Name = g.Name
+	newPIs := make([]aig.Lit, g.NumPIs())
+	for i := range newPIs {
+		newPIs[i] = out.AddPI()
+	}
+	return copyWithPrebuilt(g, out, func(piIndex int) aig.Lit {
+		return newPIs[inv[piIndex]]
+	})
+}
+
+// copyWithPrebuilt copies g into out (whose PIs already exist), resolving
+// each PI index through piLit.
+func copyWithPrebuilt(g *aig.AIG, out *aig.AIG, piLit func(piIndex int) aig.Lit) *aig.AIG {
+	lit := make([]aig.Lit, g.NumNodes())
+	lit[0] = aig.False
+	for i := 0; i < g.NumPIs(); i++ {
+		lit[g.PIID(i)] = piLit(i)
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		lit[id] = out.And(
+			lit[f0.ID()].NotIf(f0.IsCompl()),
+			lit[f1.ID()].NotIf(f1.IsCompl()),
+		)
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		out.AddPO(lit[po.ID()].NotIf(po.IsCompl()))
+	}
+	return out
+}
+
+// DropUnusedPIs rebuilds g keeping only the primary inputs that feed some
+// output cone — the last step of shrinking, where cone removal has left
+// dangling inputs behind. It returns the kept old PI indices alongside.
+func DropUnusedPIs(g *aig.AIG) (*aig.AIG, []int) {
+	used := make([]bool, g.NumNodes())
+	for i := 0; i < g.NumPOs(); i++ {
+		markCone(g, g.PO(i).ID(), used)
+	}
+	out := aig.New()
+	out.Name = g.Name
+	var kept []int
+	piLits := make(map[int]aig.Lit)
+	for i := 0; i < g.NumPIs(); i++ {
+		if used[g.PIID(i)] {
+			piLits[i] = out.AddPI()
+			kept = append(kept, i)
+		}
+	}
+	return copyWithPrebuilt(g, out, func(piIndex int) aig.Lit {
+		if l, ok := piLits[piIndex]; ok {
+			return l
+		}
+		// Unused input: any literal works, it feeds nothing reachable.
+		return aig.False
+	}), kept
+}
+
+// markCone marks every node in the cone of root (PIs included).
+func markCone(g *aig.AIG, root int, used []bool) {
+	if used[root] {
+		return
+	}
+	used[root] = true
+	stack := []int{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !g.IsAnd(id) {
+			continue
+		}
+		f0, f1 := g.Fanins(id)
+		for _, f := range [2]aig.Lit{f0, f1} {
+			if fid := f.ID(); !used[fid] {
+				used[fid] = true
+				stack = append(stack, fid)
+			}
+		}
+	}
+}

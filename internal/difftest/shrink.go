@@ -1,0 +1,156 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/aiger"
+	"simsweep/internal/miter"
+)
+
+// Shrink minimises a failing miter by iterative cone removal: outputs are
+// dropped as long as the failure persists, then AND cones are removed
+// bottom-up by substituting each node with a constant or one of its own
+// fanins (the FRAIG-style Reduce machinery rebuilds and cleans after every
+// accepted substitution), and finally dangling primary inputs are pruned.
+// failing must hold on m; it is re-evaluated on every candidate, so the
+// result — the smallest reproducer the greedy pass reaches — still fails.
+// maxChecks bounds the number of predicate evaluations (0: a default of
+// 2000); the current best reproducer is returned when the budget runs out.
+func Shrink(m *aig.AIG, failing func(*aig.AIG) bool, maxChecks int) *aig.AIG {
+	if maxChecks <= 0 {
+		maxChecks = 2000
+	}
+	checks := 0
+	tryFail := func(g *aig.AIG) bool {
+		if checks >= maxChecks {
+			return false
+		}
+		checks++
+		return failing(g)
+	}
+
+	cur := m
+	for {
+		next, improved := shrinkPOs(cur, tryFail)
+		cur = next
+		n2, imp2 := shrinkNodes(cur, tryFail)
+		cur = n2
+		if !improved && !imp2 {
+			break
+		}
+		if checks >= maxChecks {
+			break
+		}
+	}
+	if pruned, _ := DropUnusedPIs(cur); tryFail(pruned) {
+		cur = pruned
+	}
+	return cur
+}
+
+// shrinkPOs drops miter outputs: first it tries each single output alone
+// (the usual jackpot — one output carries the failure), then greedily
+// removes outputs one at a time.
+func shrinkPOs(m *aig.AIG, tryFail func(*aig.AIG) bool) (*aig.AIG, bool) {
+	if m.NumPOs() <= 1 {
+		return m, false
+	}
+	for i := 0; i < m.NumPOs(); i++ {
+		if cand := keepPOs(m, []int{i}); tryFail(cand) {
+			return cand, true
+		}
+	}
+	improved := false
+	cur := m
+	for i := cur.NumPOs() - 1; i >= 0 && cur.NumPOs() > 1; i-- {
+		keep := make([]int, 0, cur.NumPOs()-1)
+		for j := 0; j < cur.NumPOs(); j++ {
+			if j != i {
+				keep = append(keep, j)
+			}
+		}
+		if cand := keepPOs(cur, keep); tryFail(cand) {
+			cur = cand
+			improved = true
+		}
+	}
+	return cur, improved
+}
+
+// keepPOs rebuilds m retaining only the selected outputs (logic cleaned to
+// their cones, PIs preserved positionally).
+func keepPOs(m *aig.AIG, keep []int) *aig.AIG {
+	out := aig.New()
+	out.Name = m.Name
+	for i := 0; i < m.NumPIs(); i++ {
+		out.AddPI()
+	}
+	lit := copyLits(m, out)
+	for _, i := range keep {
+		po := m.PO(i)
+		out.AddPO(lit[po.ID()].NotIf(po.IsCompl()))
+	}
+	clean, _ := miter.Clean(out)
+	return clean
+}
+
+// shrinkNodes removes AND cones: every AND node, visited from the outputs
+// down, is substituted in turn with constant zero, constant one, or one of
+// its fanin literals; the first substitution that keeps the miter failing
+// is adopted (Reduce rebuilds and cleans, so the whole orphaned cone
+// disappears with the node).
+func shrinkNodes(m *aig.AIG, tryFail func(*aig.AIG) bool) (*aig.AIG, bool) {
+	improved := false
+	cur := m
+	for id := cur.NumNodes() - 1; id > 0; id-- {
+		if id >= cur.NumNodes() || !cur.IsAnd(id) {
+			continue
+		}
+		f0, f1 := cur.Fanins(id)
+		for _, target := range []aig.Lit{aig.False, aig.True, f0, f1} {
+			cand, _, err := miter.Reduce(cur, []miter.Merge{{Member: int32(id), Target: target}})
+			if err != nil || cand.NumNodes() >= cur.NumNodes() {
+				continue
+			}
+			if tryFail(cand) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+	}
+	return cur, improved
+}
+
+// CorpusFileName is the deterministic name of a reproducer: the failure
+// kind and case kind (slashes and pluses flattened), followed by the
+// miter's structural fingerprint, so identical reproducers collide to one
+// file and re-runs with the same seed rewrite identical bytes.
+func CorpusFileName(failureKind, caseKind string, m *aig.AIG) string {
+	flat := func(s string) string {
+		return strings.NewReplacer("/", "-", "+", "-").Replace(s)
+	}
+	return fmt.Sprintf("%s-%s-%016x.aag", flat(failureKind), flat(caseKind), m.Fingerprint())
+}
+
+// WriteCorpusFile writes a shrunk reproducer to dir in ASCII AIGER form,
+// creating the directory when missing, and returns the file path.
+func WriteCorpusFile(dir, name string, m *aig.AIG) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := aiger.Write(f, m, false); err != nil {
+		return "", err
+	}
+	return path, nil
+}

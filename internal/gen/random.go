@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"math/rand"
+
+	"simsweep/internal/aig"
+)
+
+// Random builds a seeded pseudo-random AIG: numAnds gate gadgets (AND, OR,
+// XOR, MUX) drawn over numPIs inputs, with numPOs outputs picked from the
+// deepest surviving literals. The same parameters and seed always produce
+// the same netlist, which makes the generator suitable as a fuzzing
+// substrate: the differential harness derives every case from a seed and
+// can replay it exactly.
+//
+// The gadget mix is biased towards recent literals so the graph grows deep
+// rather than wide, and operand phases are randomised so complemented edges
+// are common. Strashing may merge gadgets, so the final AND count can be
+// below numAnds.
+func Random(numPIs, numPOs, numAnds int, seed int64) *aig.AIG {
+	if numPIs < 1 {
+		numPIs = 1
+	}
+	if numPOs < 1 {
+		numPOs = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New()
+	g.Name = "random"
+
+	pool := make([]aig.Lit, 0, numPIs+numAnds)
+	for i := 0; i < numPIs; i++ {
+		pool = append(pool, g.AddPI())
+	}
+	pick := func() aig.Lit {
+		// Bias towards the most recent quarter of the pool.
+		var idx int
+		if rng.Intn(2) == 0 && len(pool) > 4 {
+			q := len(pool) / 4
+			idx = len(pool) - 1 - rng.Intn(q)
+		} else {
+			idx = rng.Intn(len(pool))
+		}
+		return pool[idx].NotIf(rng.Intn(2) == 1)
+	}
+	for i := 0; i < numAnds; i++ {
+		a, b := pick(), pick()
+		var l aig.Lit
+		switch rng.Intn(4) {
+		case 0:
+			l = g.And(a, b)
+		case 1:
+			l = g.Or(a, b)
+		case 2:
+			l = g.Xor(a, b)
+		default:
+			l = g.Mux(pick(), a, b)
+		}
+		if l.ID() != 0 { // skip gadgets folded to a constant
+			pool = append(pool, l)
+		}
+	}
+	for i := 0; i < numPOs; i++ {
+		g.AddPO(pick())
+	}
+	return g
+}
