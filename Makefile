@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test doccheck race service-race trace-race bench benchtab bench-service fuzz fuzz-soak bench-difftest
+.PHONY: all build test doccheck race service-race trace-race bench benchtab bench-service fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault
 
-all: build doccheck test fuzz
+all: build doccheck test fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,31 @@ fuzz-soak:
 # timing into BENCH_difftest.json.
 bench-difftest:
 	$(GO) run ./cmd/benchtab -difftest
+
+# Race-enabled chaos pass: injected worker panics, stalls and SAT blow-ups
+# across every backend and miter family (never-wrong + reusable-pool
+# contract), the watchdog accounting tests, the kernel panic-recovery
+# tests, the service crash/requeue/cancel suite and the fault-armed
+# corpus replay.
+chaos:
+	$(GO) test -race ./internal/fault/
+	$(GO) test -race -run 'TestPhase|TestWorkBudget|TestGenerousBudgets|TestStallInjection|Panic' ./internal/core/ ./internal/par/
+	$(GO) test -race -run 'RunnerCrash|CancelWhileQueued|CloseSettles|DegradedResults' ./internal/service/
+	$(GO) test -race -run 'TestChaosCorpusReplay|TestFaultArmed|TestFaultSpec' ./internal/difftest/
+
+# Long-form chaos soak: a large fault-armed differential sweep — every
+# engine backend sabotaged with seeded panics, stalls and SAT blow-ups
+# while the oracle cross-checks every verdict (override SOAK_N/SOAK_FAULTS
+# to go bigger or meaner).
+SOAK_N ?= 1000
+SOAK_FAULTS ?= par.worker.panic:p=0.3;sim.round.stall:p=0.05,delay=2ms;satsweep.pair.oom:p=0.3
+soak-faults:
+	$(GO) run ./cmd/cecfuzz -seed 1 -n $(SOAK_N) -no-metamorphic -faults "$(SOAK_FAULTS)"
+
+# Fault-layer overhead row (disabled vs armed-idle injector) into
+# BENCH_fault.json.
+bench-fault:
+	$(GO) run ./cmd/benchtab -fault
 
 bench:
 	$(GO) test -bench 'BenchmarkExhaustiveCheckBatch|BenchmarkDeviceLaunch' -benchmem ./internal/par/ ./internal/sim/

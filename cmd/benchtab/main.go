@@ -7,6 +7,8 @@
 //	benchtab -all            everything
 //	benchtab -service        service-layer throughput + cache hit rate
 //	                         (BENCH_service.json)
+//	benchtab -fault          fault-injection hook overhead, disabled vs
+//	                         armed-idle (BENCH_fault.json)
 //
 // -size scales the instances (1 = quick, 2 = larger); -only restricts to a
 // comma-separated list of families.
@@ -46,8 +48,17 @@ func run() int {
 	dtBench := flag.Bool("difftest", false, "run the differential-harness smoke sweep and record the backend agreement rate")
 	dtJSON := flag.String("difftestjson", "BENCH_difftest.json", "difftest smoke report path")
 	dtN := flag.Int("difftest-n", 50, "cases for the -difftest sweep")
+	fltBench := flag.Bool("fault", false, "measure the fault-injection layer's overhead (nil vs armed-idle injector)")
+	fltJSON := flag.String("faultjson", "BENCH_fault.json", "fault overhead report path")
 	flag.Parse()
 
+	if *fltBench {
+		if err := runFaultBench(*fltJSON, *seed, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		return 0
+	}
 	if *dtBench {
 		if err := runDifftestBench(*dtJSON, *seed, *dtN, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)

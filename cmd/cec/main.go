@@ -37,6 +37,9 @@ func run() int {
 	verbose := flag.Bool("v", false, "print per-phase statistics")
 	tracePath := flag.String("trace", "", "record an execution trace and write it as Chrome trace_event JSON to this file (load in Perfetto)")
 	phaseReport := flag.Bool("phase-report", false, "print the traced phase breakdown table (implies tracing)")
+	faults := flag.String("faults", "", "inject faults: 'hook:p=0.1,at=3,every=2,limit=1,delay=5ms;...' (hooks: par.worker.panic, sim.round.stall, satsweep.pair.oom, service.runner.crash)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault hooks")
+	phaseBudget := flag.Duration("phase-budget", 0, "wall-clock watchdog per simulation phase; a phase over budget is cancelled and the check degrades (0: off)")
 	flag.Parse()
 
 	opts := simsweep.Options{
@@ -44,6 +47,15 @@ func run() int {
 		Workers:       *workers,
 		Seed:          *seed,
 		ConflictLimit: *conflicts,
+		PhaseBudget:   *phaseBudget,
+	}
+	if *faults != "" {
+		in, ferr := simsweep.ParseFaults(*faults, *faultSeed)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "cec:", ferr)
+			return 2
+		}
+		opts.Faults = in
 	}
 	if *tracePath != "" || *phaseReport {
 		opts.Trace = simsweep.NewTracer(0)
@@ -105,6 +117,12 @@ func run() int {
 	}
 
 	fmt.Printf("verdict: %s (engine %s, %v)\n", res.Outcome, res.EngineUsed, res.Runtime.Round(1e6))
+	if res.Degraded {
+		fmt.Printf("degraded: survived %d fault(s)\n", len(res.Faults))
+		for _, f := range res.Faults {
+			fmt.Printf("  fault: %s\n", f)
+		}
+	}
 	if res.SimStats != nil {
 		fmt.Printf("sim engine: reduced %.1f%% of the miter", res.ReducedPercent)
 		if res.SATTime > 0 {

@@ -39,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"simsweep"
 	"simsweep/internal/service"
 )
 
@@ -55,8 +56,21 @@ func run() int {
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on client-requested deadlines (0: uncapped)")
 	quiet := flag.Bool("q", false, "suppress per-job log lines")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof handlers under /debug/pprof/")
+	faults := flag.String("faults", "", "inject faults into the service and every job: 'hook:p=...;...' (see cec -faults); fires show up as cecd_faults_total on /metrics")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault hooks")
+	phaseBudget := flag.Duration("phase-budget", 0, "wall-clock watchdog per simulation phase of every job (0: off)")
 	flag.Parse()
 
+	var injector *simsweep.FaultInjector
+	if *faults != "" {
+		in, ferr := simsweep.ParseFaults(*faults, *faultSeed)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "cecd:", ferr)
+			return 1
+		}
+		injector = in
+		fmt.Fprintf(os.Stderr, "cecd: fault injection armed: %s (seed %d)\n", in, *faultSeed)
+	}
 	var logw io.Writer = os.Stderr
 	if *quiet {
 		logw = nil
@@ -70,6 +84,8 @@ func run() int {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Log:            logw,
+		Faults:         injector,
+		PhaseBudget:    *phaseBudget,
 	})
 	defer svc.Close()
 

@@ -9,11 +9,21 @@
 //	cecfuzz -seed 1 -n 200              quick sweep (exit 1 on any failure)
 //	cecfuzz -seed 1 -n 200 -shrink      … with failing miters minimised
 //	cecfuzz -n 5000 -timing             soak run with per-backend timing
+//	cecfuzz -n 500 -faults "par.worker.panic:p=0.3;satsweep.pair.oom:p=0.3"
+//	                                    chaos soak: engines fuzzed while faulted
 //
 // Everything written to stdout is a pure function of the flags: two runs
 // with the same seed produce byte-identical logs and corpora. Timing
 // output (-timing) goes to stderr so it never perturbs the deterministic
-// log.
+// log. The exception is -faults: injection draws are seeded, but parallel
+// scheduling decides which unit of work a probabilistic fault lands on, so
+// fault-armed logs are reproducible in shape, not byte-for-byte.
+//
+// With -faults armed, every engine backend runs under deterministic fault
+// injection (the truth-table oracle stays clean) and may return a degraded
+// Undecided; any wrong verdict, missing counter-example or backend
+// disagreement still fails the run — the harness proves the engines are
+// never wrong even while being actively sabotaged.
 package main
 
 import (
@@ -40,6 +50,7 @@ func run() int {
 	corpus := flag.String("corpus", "", "directory for shrunk reproducers in ASCII AIGER form (implies -shrink)")
 	noMeta := flag.Bool("no-metamorphic", false, "skip the PI-permutation/strash/resyn2 metamorphic re-checks")
 	timing := flag.Bool("timing", false, "print the per-backend timing table to stderr")
+	faults := flag.String("faults", "", "fault-injection spec armed inside every engine backend, e.g. \"par.worker.panic:p=0.3;sim.round.stall:p=0.1,delay=5ms\"")
 	flag.Parse()
 
 	o := difftest.Options{
@@ -51,6 +62,7 @@ func run() int {
 		Shrink:       *shrink || *corpus != "",
 		ShrinkChecks: *shrinkChecks,
 		CorpusDir:    *corpus,
+		FaultSpec:    *faults,
 	}
 	s, err := difftest.Run(o, os.Stdout)
 	if err != nil {

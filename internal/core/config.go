@@ -14,6 +14,7 @@ import (
 
 	"simsweep/internal/aig"
 	"simsweep/internal/cuts"
+	"simsweep/internal/fault"
 	"simsweep/internal/par"
 	"simsweep/internal/trace"
 )
@@ -93,6 +94,28 @@ type Config struct {
 	// LocalPasses overrides the cut-selection passes of each L phase;
 	// nil selects the paper's three passes (Table I).
 	LocalPasses []cuts.Pass
+
+	// PhaseBudget is the per-phase watchdog's wall-clock budget: each
+	// executed phase (P, G or one L iteration) that is still running when
+	// the budget elapses is cancelled cooperatively, through the same
+	// polling points as Stop, and the run degrades to Undecided with the
+	// trip recorded in Result.Faults instead of hanging. A phase that
+	// finishes its work by the deadline — even exactly at it — is never
+	// marked degraded: the trip only counts when the phase observes the
+	// cancel and abandons work. Zero disables the watchdog.
+	PhaseBudget time.Duration
+	// PhaseWorkBudget caps the estimated simulation effort one phase may
+	// submit, in node·word units (the windowWork metric that also drives
+	// MaxWindowWork). A phase that would exceed it stops submitting
+	// windows and the run degrades as for PhaseBudget — the watchdog's
+	// memory/work estimate, complementing the wall-clock bound. Zero
+	// disables the cap.
+	PhaseWorkBudget int64
+	// Faults, when armed, injects deterministic faults into the engine and
+	// the simulators under it (see internal/fault). The caller also arms it
+	// on the device (Dev.SetFaults) for kernel-panic injection; the facade
+	// does both. Nil disables every hook at the cost of one nil check.
+	Faults *fault.Injector
 
 	// Dev supplies the parallel device (nil: all CPUs).
 	Dev *par.Device
@@ -275,7 +298,15 @@ type Result struct {
 	// Stopped reports that the run returned Undecided because Config.Stop
 	// cancelled it, not because the engine genuinely exhausted its phases.
 	Stopped bool
-	CEX     []bool // PI assignment disproving the miter
+	// Degraded reports that the run survived one or more internal faults
+	// (kernel panics, watchdog trips) by abandoning work: the Outcome is
+	// still trustworthy — faulted batches withdraw their verdicts rather
+	// than guess — but may be weaker (Undecided) than a healthy run's.
+	Degraded bool
+	// Faults is the chain of survived faults, oldest first, in human-
+	// readable form. Empty on a healthy run.
+	Faults []string
+	CEX    []bool // PI assignment disproving the miter
 	Reduced *aig.AIG
 	Phases  []PhaseStat
 	// Snapshots holds the cleaned intermediate miters after the named

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -63,6 +64,95 @@ type engine struct {
 	// lastPassProved drives Config.AdaptivePasses: per-pass proof counts
 	// of the previous L phase (nil before the first phase).
 	lastPassProved map[cuts.Pass]int
+
+	// Watchdog state of the phase currently executing. wdStop is closed by
+	// the wall-clock timer when Config.PhaseBudget elapses and is polled at
+	// the same points as Config.Stop; wdWork accumulates submitted window
+	// work against Config.PhaseWorkBudget; phaseAborted records that the
+	// phase observed a trip (or a survivable fault) and abandoned work —
+	// only then is the run marked Degraded, so a phase that completes
+	// exactly at its budget is not spuriously penalised. curPhase labels
+	// fault-chain entries.
+	wdStop       chan struct{}
+	wdWork       int64
+	phaseAborted bool
+	curPhase     string
+}
+
+// faultf appends one entry to the run's fault chain and marks the result
+// degraded.
+func (e *engine) faultf(format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	e.res.Faults = append(e.res.Faults, msg)
+	e.res.Degraded = true
+	e.cfg.logf("fault: %s", msg)
+}
+
+// abortPhase records a survivable fault that invalidates the remainder of
+// the current phase. The engine finishes the phase's bookkeeping (verdicts
+// already established stay applied — they came from healthy batches), skips
+// the remaining phases and settles Undecided, leaving the decision to the
+// downstream backend. Only the first fault per phase is recorded.
+func (e *engine) abortPhase(format string, args ...interface{}) {
+	if e.phaseAborted {
+		return
+	}
+	e.phaseAborted = true
+	e.faultf(format, args...)
+}
+
+// stopped reports cooperative cancellation: the caller's Stop channel or
+// the current phase's wall-clock watchdog. Observing a watchdog trip aborts
+// the phase (and thereby degrades the run); merely letting the timer fire
+// after the phase's last polling point does not.
+func (e *engine) stopped() bool {
+	if e.cfg.stopped() {
+		return true
+	}
+	if e.wdStop != nil {
+		select {
+		case <-e.wdStop:
+			e.abortPhase("core.watchdog: phase %s exceeded wall-clock budget %v", e.curPhase, e.cfg.PhaseBudget)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// addWork charges the estimated effort of a window against the phase work
+// budget and reports whether the phase may still submit it.
+func (e *engine) addWork(work int64) bool {
+	if e.cfg.PhaseWorkBudget <= 0 {
+		return true
+	}
+	e.wdWork += work
+	if e.wdWork <= e.cfg.PhaseWorkBudget {
+		return true
+	}
+	e.abortPhase("core.watchdog: phase %s exceeded work budget %d node·words", e.curPhase, e.cfg.PhaseWorkBudget)
+	return false
+}
+
+// runPhase executes one phase under the watchdog and reports whether it
+// completed without aborting. The wall-clock timer is armed only for the
+// duration of the phase; its channel is polled through e.stopped at the
+// same points that honour Config.Stop.
+func (e *engine) runPhase(kind PhaseKind, fn func()) bool {
+	e.phaseAborted = false
+	e.wdWork = 0
+	e.curPhase = kind.String()
+	if e.cfg.PhaseBudget > 0 {
+		ch := make(chan struct{})
+		timer := time.AfterFunc(e.cfg.PhaseBudget, func() { close(ch) })
+		e.wdStop = ch
+		defer func() {
+			timer.Stop()
+			e.wdStop = nil
+		}()
+	}
+	fn()
+	return !e.phaseAborted
 }
 
 func (e *engine) run() {
@@ -73,17 +163,31 @@ func (e *engine) run() {
 	e.ex = sim.NewExhaustive(e.cfg.Dev, e.cfg.MemBudgetWords)
 	e.ex.SliceWork = e.cfg.SimSliceWork
 	e.ex.Trace = e.cfg.Trace
+	e.ex.Faults = e.cfg.Faults
+	// Round-boundary cancellation: e.stopped observes watchdog trips (and
+	// records the degradation), so a phase stuck inside a multi-round batch
+	// is cancelled at the next round instead of running to completion.
+	e.ex.Stop = e.stopped
 	e.partial = sim.NewPartial(e.cfg.Dev, e.cur.NumPIs(), e.cfg.SimWords, e.cfg.Seed)
 	e.partial.Trace = e.cfg.Trace
 
-	e.phaseP()
+	// An aborted phase (watchdog trip or survivable fault) skips the
+	// remaining phases: proved merges so far stay applied, the run settles
+	// Undecided+Degraded and the downstream backend takes over.
+	if !e.runPhase(PhaseP, e.phaseP) {
+		e.finish()
+		return
+	}
 	e.snapshot("P")
 	if e.decided || e.cfg.stopped() {
 		e.finish()
 		return
 	}
 
-	e.phaseG()
+	if !e.runPhase(PhaseG, e.phaseG) {
+		e.finish()
+		return
+	}
 	e.snapshot("PG")
 	if e.decided || e.cfg.stopped() {
 		e.finish()
@@ -92,8 +196,9 @@ func (e *engine) run() {
 
 	rewriteUsed := false
 	for phase := 0; phase < e.cfg.MaxLocalPhases; phase++ {
-		merged := e.phaseL()
-		if e.decided || e.cfg.stopped() {
+		merged := 0
+		ok := e.runPhase(PhaseL, func() { merged = e.phaseL() })
+		if !ok || e.decided || e.cfg.stopped() {
 			break
 		}
 		if merged == 0 {
@@ -244,6 +349,13 @@ func (e *engine) checkChunked(pairs []sim.Pair, specs []sim.Spec, ks int) sim.Re
 			return
 		}
 		r := e.ex.CheckBatch(e.cur, pairs, batch)
+		if r.Err != nil {
+			// The batch's kernels panicked: its verdicts were withdrawn
+			// (all Equal false, no CEXs), so merging them below is a
+			// no-op. Abort the phase; verdicts from earlier, healthy
+			// batches stay valid.
+			e.abortPhase("sim.exhaustive: %v", r.Err)
+		}
 		for _, w := range batch {
 			for _, pi := range w.PairIdx {
 				combined.Equal[pi] = r.Equal[pi]
@@ -258,6 +370,9 @@ func (e *engine) checkChunked(pairs []sim.Pair, specs []sim.Spec, ks int) sim.Re
 		slots = 0
 	}
 	enqueue := func(w *sim.Window) {
+		if !e.addWork(windowWork(w)) {
+			return // phase work budget exhausted: drop the window
+		}
 		batch = append(batch, w)
 		slots += w.NumSlots()
 		if slots >= slotCap {
@@ -265,7 +380,7 @@ func (e *engine) checkChunked(pairs []sim.Pair, specs []sim.Spec, ks int) sim.Re
 		}
 	}
 	for _, spec := range merged {
-		if e.cfg.stopped() {
+		if e.stopped() || e.phaseAborted {
 			break
 		}
 		w, err := sim.BuildWindow(e.cur, spec)
@@ -407,9 +522,16 @@ func (e *engine) reduce(merges []miter.Merge) {
 }
 
 // resimulate refreshes partial simulation, disproving the miter when a PO
-// fires under the pattern bank, and returns the per-node signatures.
+// fires under the pattern bank, and returns the per-node signatures. It
+// returns nil both when the run was decided (a PO fired) and when the sweep
+// faulted — garbage signatures must never reach FindNonZeroPO, where they
+// could fabricate a disproof — so callers bail out on nil.
 func (e *engine) resimulate() [][]uint64 {
-	sims := e.partial.Simulate(e.cur)
+	sims, err := e.partial.Simulate(e.cur)
+	if err != nil {
+		e.abortPhase("sim.partial: %v", err)
+		return nil
+	}
 	if po, assign := e.partial.FindNonZeroPO(e.cur, sims); po >= 0 {
 		in := make([]bool, e.cur.NumPIs())
 		for _, a := range assign {
@@ -443,14 +565,14 @@ func (e *engine) phaseG() {
 	}()
 
 	sims := e.resimulate()
-	if e.decided {
-		return
+	if sims == nil {
+		return // decided or faulted
 	}
 	if e.cfg.GuidedPatterns {
 		if added := e.partial.AddGuidedPatterns(e.cur, sims, 64, e.cfg.Seed+1); added > 0 {
 			e.cfg.logf("guided patterns: %d injected", added)
 			sims = e.resimulate()
-			if e.decided {
+			if sims == nil {
 				return
 			}
 		}
@@ -532,8 +654,8 @@ func (e *engine) phaseL() int {
 	}()
 
 	sims := e.resimulate()
-	if e.decided {
-		return 0
+	if sims == nil {
+		return 0 // decided or faulted
 	}
 	classes := e.buildEC(sims)
 	if classes.TotalCandidates() == 0 {
@@ -549,7 +671,7 @@ func (e *engine) phaseL() int {
 	}
 	passProved := make(map[cuts.Pass]int, len(passes))
 	for _, pass := range passes {
-		if e.cfg.stopped() {
+		if e.stopped() || e.phaseAborted {
 			break
 		}
 		if e.cfg.AdaptivePasses && e.lastPassProved != nil && e.lastPassProved[pass] == 0 {
@@ -588,7 +710,7 @@ func (e *engine) phaseL() int {
 			specs = specs[:0]
 		}
 
-		gen.Run(pass, classes, func(pc cuts.PairCuts) {
+		err := gen.Run(pass, classes, func(pc cuts.PairCuts) {
 			if proved[pc.Pair.Member] || !e.cur.IsAnd(int(pc.Pair.Member)) {
 				return
 			}
@@ -616,6 +738,11 @@ func (e *engine) phaseL() int {
 			}
 		})
 		flush()
+		if err != nil {
+			// Cuts emitted before the failure were checked normally; the
+			// pass is merely incomplete.
+			e.abortPhase("cuts.generate: %v", err)
+		}
 		passProved[pass] = stat.Proved - provedBefore
 	}
 	e.lastPassProved = passProved

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"simsweep/internal/gen"
 	"simsweep/internal/opt"
@@ -23,8 +24,15 @@ func TestTraceMatchesPhaseStats(t *testing.T) {
 	tr.Enable()
 	cfg := smallConfig()
 	cfg.Trace = tr
+	// Generous watchdog budgets: arming the watchdog machinery must not
+	// perturb the phase accounting the trace is reconciled against.
+	cfg.PhaseBudget = time.Minute
+	cfg.PhaseWorkBudget = 1 << 40
 	res := CheckMiter(m, cfg)
 	tr.Disable()
+	if res.Degraded {
+		t.Fatalf("run degraded under generous budgets: %v", res.Faults)
+	}
 
 	rows := trace.PhaseRows(tr)
 	if len(rows) != len(res.Phases) {

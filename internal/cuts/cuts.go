@@ -137,7 +137,12 @@ func (gen *Generator) EnumerationLevels(m *ec.Manager) []int32 {
 // non-representative node with the valid common cuts of its candidate pair.
 // emit is called from the control goroutine, in ascending enumeration-level
 // order, so the caller can maintain an unsynchronised buffer.
-func (gen *Generator) Run(pass Pass, m *ec.Manager, emit func(PairCuts)) {
+//
+// A non-nil error means an enumeration kernel failed (a recovered worker
+// panic): cuts already emitted are valid — every emitted cut is verified by
+// exhaustive simulation downstream anyway — but enumeration stopped early,
+// so the pass is incomplete.
+func (gen *Generator) Run(pass Pass, m *ec.Manager, emit func(PairCuts)) error {
 	g := gen.g
 	el := gen.EnumerationLevels(m)
 	maxLevel := int32(0)
@@ -162,7 +167,7 @@ func (gen *Generator) Run(pass Pass, m *ec.Manager, emit func(PairCuts)) {
 	results := make([]*PairCuts, g.NumNodes())
 	for l := int32(1); l <= maxLevel; l++ {
 		batch := byLevel[l]
-		gen.dev.LaunchChunked("cuts.level", len(batch), func(lo, hi int) {
+		err := gen.dev.LaunchChunked("cuts.level", len(batch), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := int(batch[i])
 				repr, nonRepr := m.Repr(id)
@@ -188,6 +193,11 @@ func (gen *Generator) Run(pass Pass, m *ec.Manager, emit func(PairCuts)) {
 				}
 			}
 		})
+		if err != nil {
+			// Higher levels would enumerate from the poisoned cut sets of
+			// this one; stop here. Nothing from the failed level is emitted.
+			return err
+		}
 		for _, id := range batch {
 			if pc := results[id]; pc != nil {
 				emit(*pc)
@@ -195,6 +205,7 @@ func (gen *Generator) Run(pass Pass, m *ec.Manager, emit func(PairCuts)) {
 			}
 		}
 	}
+	return nil
 }
 
 // makeCut computes the metric annotations of a leaf set.

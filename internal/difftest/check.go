@@ -47,14 +47,19 @@ type CaseReport struct {
 }
 
 // summarize renders the per-backend verdicts deterministically
-// (roster order) for the log line.
+// (roster order) for the log line. Answers that survived internal faults
+// are suffixed "~" so a chaos soak's log shows where injection bit.
 func (r *CaseReport) summarize() string {
 	parts := make([]string, 0, len(r.Results))
 	for _, nr := range r.Results {
 		if nr.Skipped {
 			continue
 		}
-		parts = append(parts, nr.Name+":"+nr.Verdict.String())
+		s := nr.Name + ":" + nr.Verdict.String()
+		if nr.Degraded {
+			s += "~"
+		}
+		parts = append(parts, s)
 	}
 	return strings.Join(parts, ",")
 }
@@ -86,7 +91,11 @@ func CrossCheck(dev *par.Device, backends []Backend, c Case) CaseReport {
 	// Verdict consensus across decided backends.
 	for _, nr := range rep.Results {
 		if nr.Skipped || nr.Verdict == Undecided {
-			if !nr.Skipped && backendByName(backends, nr.Name).Complete {
+			// A degraded Undecided from a Degradable backend is the engine's
+			// graceful-degradation path doing its job (injected faults made it
+			// withdraw work), not a completeness violation.
+			b := backendByName(backends, nr.Name)
+			if !nr.Skipped && b.Complete && !(b.Degradable && nr.Degraded) {
 				rep.fail("incomplete", nr.Name, "complete backend returned undecided", c.Miter)
 			}
 			continue

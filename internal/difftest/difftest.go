@@ -31,6 +31,7 @@ import (
 	"simsweep"
 	"simsweep/internal/aig"
 	"simsweep/internal/core"
+	"simsweep/internal/fault"
 )
 
 // Verdict is a backend's answer on a miter.
@@ -64,6 +65,12 @@ type BackendResult struct {
 	// missing or non-distinguishing CEX is a contract violation.
 	CEX     []bool
 	Runtime time.Duration
+	// Degraded marks an answer that survived injected (or real) internal
+	// faults — the engine recovered and withdrew the affected work instead
+	// of guessing. A degraded Undecided from a Degradable backend is
+	// tolerated; a degraded decided verdict is cross-checked as strictly as
+	// a healthy one.
+	Degraded bool
 }
 
 // Backend is one decider under differential test. Check must be safe to
@@ -78,7 +85,13 @@ type Backend struct {
 	// MaxPIs bounds the miter width the backend accepts (0: unbounded).
 	// The truth-table oracle sets 16.
 	MaxPIs int
-	Check  func(m *aig.AIG) BackendResult
+	// Degradable marks a backend running under fault injection: a Complete
+	// backend that answers Undecided with Degraded set is exercising its
+	// graceful-degradation path, not violating its completeness contract.
+	// Every other contract (agreement among decided backends, ground truth,
+	// counter-example replay) still applies in full.
+	Degradable bool
+	Check      func(m *aig.AIG) BackendResult
 }
 
 // Applicable reports whether the backend can run on an m-wide miter.
@@ -86,22 +99,37 @@ func (b *Backend) Applicable(m *aig.AIG) bool {
 	return b.MaxPIs == 0 || m.NumPIs() <= b.MaxPIs
 }
 
-// facadeBackend wraps a facade engine selection as a Backend.
-func facadeBackend(name string, complete bool, workers int, seed int64, cfg *core.Config, engine simsweep.Engine) Backend {
+// facadeBackend wraps a facade engine selection as a Backend. A non-empty
+// faultSpec arms deterministic fault injection inside every check: a FRESH
+// injector is parsed per call (hook counters like at= are consumed state,
+// and per-check injectors keep every case identically faulted regardless
+// of roster order), and the backend is marked Degradable.
+func facadeBackend(name string, complete bool, workers int, seed int64, cfg *core.Config, engine simsweep.Engine, faultSpec string) Backend {
 	return Backend{
-		Name:     name,
-		Complete: complete,
+		Name:       name,
+		Complete:   complete,
+		Degradable: faultSpec != "",
 		Check: func(m *aig.AIG) BackendResult {
-			r, err := simsweep.CheckMiter(m, simsweep.Options{
+			opts := simsweep.Options{
 				Engine:    engine,
 				Workers:   workers,
 				Seed:      seed,
 				SimConfig: cfg,
-			})
+			}
+			if faultSpec != "" {
+				// The spec was validated when the roster was built; a fresh
+				// parse of a validated spec cannot fail.
+				opts.Faults = fault.MustParse(faultSpec, seed)
+			}
+			r, err := simsweep.CheckMiter(m, opts)
 			if err != nil {
 				return BackendResult{Verdict: Undecided}
 			}
-			return BackendResult{Verdict: verdictOfOutcome(r.Outcome), CEX: r.CEX}
+			return BackendResult{
+				Verdict:  verdictOfOutcome(r.Outcome),
+				CEX:      r.CEX,
+				Degraded: r.Degraded,
+			}
 		},
 	}
 }
@@ -157,17 +185,40 @@ func extConfig() *core.Config {
 // workers bounds each backend's parallel device (0: all CPUs); seed drives
 // the backends' internal random stimulus (independent of case generation).
 func DefaultBackends(workers int, seed int64) []Backend {
+	b, _ := DefaultBackendsWithFaults(workers, seed, "")
+	return b
+}
+
+// DefaultBackendsWithFaults is DefaultBackends with deterministic fault
+// injection armed inside every engine backend (the truth-table oracle stays
+// clean: it is the harness's ground truth and must not degrade). spec uses
+// the fault-injection grammar of simsweep.ParseFaults; "" disables injection
+// and yields exactly DefaultBackends. Each backend check parses a fresh
+// injector from the spec, so counter-based hooks (at=, limit=) reset per
+// check and the run stays deterministic under any roster or case order.
+//
+// Under injection the engine backends are Degradable: a complete backend
+// may answer a degraded Undecided. Everything else — agreement among
+// decided backends, ground truth, counter-example replay — is enforced
+// unchanged, which makes a fuzzing sweep under this roster the
+// "never-wrong under chaos" soak test.
+func DefaultBackendsWithFaults(workers int, seed int64, spec string) ([]Backend, error) {
+	if spec != "" {
+		if _, err := fault.Parse(spec, seed); err != nil {
+			return nil, err
+		}
+	}
 	return []Backend{
 		{Name: "oracle", Complete: true, MaxPIs: OracleMaxPIs, Check: func(m *aig.AIG) BackendResult {
 			v, cex := TruthTable(m)
 			return BackendResult{Verdict: v, CEX: cex}
 		}},
-		facadeBackend("sim", false, workers, seed, nil, simsweep.EngineSim),
-		facadeBackend("sim-tight", false, workers, seed, tightConfig(), simsweep.EngineSim),
-		facadeBackend("sim-ext", false, workers, seed, extConfig(), simsweep.EngineSim),
-		facadeBackend("hybrid", true, workers, seed, nil, simsweep.EngineHybrid),
-		facadeBackend("sat", true, workers, seed, nil, simsweep.EngineSAT),
-		facadeBackend("bdd", true, workers, seed, nil, simsweep.EngineBDD),
-		facadeBackend("portfolio", true, workers, seed, nil, simsweep.EnginePortfolio),
-	}
+		facadeBackend("sim", false, workers, seed, nil, simsweep.EngineSim, spec),
+		facadeBackend("sim-tight", false, workers, seed, tightConfig(), simsweep.EngineSim, spec),
+		facadeBackend("sim-ext", false, workers, seed, extConfig(), simsweep.EngineSim, spec),
+		facadeBackend("hybrid", true, workers, seed, nil, simsweep.EngineHybrid, spec),
+		facadeBackend("sat", true, workers, seed, nil, simsweep.EngineSAT, spec),
+		facadeBackend("bdd", true, workers, seed, nil, simsweep.EngineBDD, spec),
+		facadeBackend("portfolio", true, workers, seed, nil, simsweep.EnginePortfolio, spec),
+	}, nil
 }

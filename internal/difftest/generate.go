@@ -180,7 +180,12 @@ func groundTruth(dev *par.Device, m *aig.AIG, rng *rand.Rand) (Verdict, []bool) 
 		return TruthTable(m)
 	}
 	p := sim.NewPartial(dev, m.NumPIs(), 32, rng.Int63())
-	sims := p.Simulate(m)
+	sims, err := p.Simulate(m)
+	if err != nil {
+		// The harness device is never fault-injected, so this is a real
+		// kernel bug; report no ground truth rather than guess from garbage.
+		return Undecided, nil
+	}
 	if po, assign := p.FindNonZeroPO(m, sims); po >= 0 {
 		cex := make([]bool, m.NumPIs())
 		for _, av := range assign {

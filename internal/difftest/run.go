@@ -31,6 +31,16 @@ type Options struct {
 	// CorpusDir, when non-empty, receives every shrunk reproducer as an
 	// ASCII AIGER file with a deterministic name.
 	CorpusDir string
+	// FaultSpec, when non-empty, arms deterministic fault injection inside
+	// every engine backend (grammar of simsweep.ParseFaults; the oracle
+	// stays clean) and relaxes only the completeness contract: a complete
+	// backend may answer a degraded Undecided. Agreement, ground truth and
+	// counter-example replay stay fully enforced, turning the sweep into a
+	// never-wrong-under-chaos soak. Injection draws are seeded, but with
+	// parallel workers the scheduling decides which unit of work a
+	// probabilistic fault lands on, so fault-armed logs are reproducible in
+	// shape, not byte-for-byte. Ignored when Backends is set.
+	FaultSpec string
 	// Backends overrides the roster (nil: DefaultBackends). Tests inject
 	// deliberately broken backends here to exercise the harness itself.
 	Backends []Backend
@@ -84,7 +94,11 @@ func Run(o Options, log io.Writer) (Summary, error) {
 	defer dev.Close()
 	backends := o.Backends
 	if backends == nil {
-		backends = DefaultBackends(o.Workers, o.Seed)
+		var err error
+		backends, err = DefaultBackendsWithFaults(o.Workers, o.Seed, o.FaultSpec)
+		if err != nil {
+			return Summary{}, err
+		}
 	}
 
 	var s Summary

@@ -170,7 +170,12 @@ func Rewrite(g *aig.AIG, opt RewriteOptions) *aig.AIG {
 	// (cut steering needs no candidate pairs here).
 	singletons := ec.Build(orig, func(int) []uint64 { return nil }, func(int) bool { return false })
 	gen := cuts.NewGenerator(work, opt.Dev, cuts.Config{K: opt.K, C: 4, KeepDominated: true})
-	gen.Run(cuts.PassFanout, singletons, func(cuts.PairCuts) {})
+	if err := gen.Run(cuts.PassFanout, singletons, func(cuts.PairCuts) {}); err != nil {
+		// Enumeration faulted (a recovered kernel panic): rebuilding from
+		// partial cut data could change the function. Return the untouched
+		// copy — rewriting is an optimisation, never worth correctness.
+		return work
+	}
 
 	ref := work.FanoutCounts()
 	replaced := make([]aig.Lit, orig)

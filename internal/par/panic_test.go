@@ -1,0 +1,136 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"simsweep/internal/fault"
+)
+
+// TestLaunchRecoversPanic proves a panicking kernel body costs the launch,
+// not the process: Launch returns a typed KernelPanicError and the launch
+// still synchronises (no hang, no leaked goroutine wedging the pool).
+func TestLaunchRecoversPanic(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		d := NewDevice(workers)
+		err := d.Launch("boom", 1000, func(i int) {
+			if i == 137 {
+				panic("kernel bug")
+			}
+		})
+		var kp *KernelPanicError
+		if !errors.As(err, &kp) {
+			t.Fatalf("workers=%d: Launch err = %v, want KernelPanicError", workers, err)
+		}
+		if kp.Kernel != "boom" {
+			t.Fatalf("workers=%d: error names kernel %q, want boom", workers, kp.Kernel)
+		}
+		if kp.Value != "kernel bug" {
+			t.Fatalf("workers=%d: panic value = %v", workers, kp.Value)
+		}
+		if len(kp.Stack) == 0 || !strings.Contains(kp.Error(), "boom") {
+			t.Fatalf("workers=%d: error lacks stack or kernel name: %v", workers, kp)
+		}
+	}
+}
+
+// TestPoolUsableAfterPanic is the pool-reuse invariant of the chaos suite:
+// after any number of panicking launches the same device still executes
+// healthy kernels completely and correctly.
+func TestPoolUsableAfterPanic(t *testing.T) {
+	d := NewDevice(8)
+	for round := 0; round < 5; round++ {
+		if err := d.Launch("bad", 500, func(i int) { panic(i) }); err == nil {
+			t.Fatalf("round %d: panicking launch returned nil error", round)
+		}
+		const n = 4096
+		var sum atomic.Int64
+		if err := d.Launch("good", n, func(i int) { sum.Add(int64(i)) }); err != nil {
+			t.Fatalf("round %d: healthy launch failed: %v", round, err)
+		}
+		if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+			t.Fatalf("round %d: healthy launch incomplete: sum = %d, want %d", round, sum.Load(), want)
+		}
+	}
+	if s := d.Stats()["bad"]; s.Panics != 5 {
+		t.Fatalf("bad kernel recorded %d panics, want 5", s.Panics)
+	}
+	if s := d.Stats()["good"]; s.Panics != 0 {
+		t.Fatalf("good kernel recorded %d panics, want 0", s.Panics)
+	}
+}
+
+// TestSerialDeviceRecoversPanic covers the workers=1 path, which executes
+// the whole range inline without the pool.
+func TestSerialDeviceRecoversPanic(t *testing.T) {
+	d := NewDevice(1)
+	err := d.LaunchChunked("serial", 64, func(lo, hi int) { panic("inline") })
+	var kp *KernelPanicError
+	if !errors.As(err, &kp) || kp.Value != "inline" {
+		t.Fatalf("serial launch err = %v, want KernelPanicError(inline)", err)
+	}
+	if err := d.Launch("ok", 10, func(int) {}); err != nil {
+		t.Fatalf("serial device unusable after panic: %v", err)
+	}
+}
+
+// TestNestedLaunchPanicPropagates checks that a panic inside a nested launch
+// surfaces from the inner Launch and that the outer launch can carry on.
+func TestNestedLaunchPanicPropagates(t *testing.T) {
+	d := NewDevice(4)
+	var innerErrs atomic.Int64
+	err := d.Launch("outer", 8, func(i int) {
+		ierr := d.Launch("inner", 16, func(j int) {
+			if j == 3 {
+				panic("nested")
+			}
+		})
+		if ierr != nil {
+			innerErrs.Add(1)
+		}
+	})
+	if err != nil {
+		t.Fatalf("outer launch failed: %v (inner panics must not poison the outer)", err)
+	}
+	if innerErrs.Load() != 8 {
+		t.Fatalf("%d of 8 nested launches reported the panic", innerErrs.Load())
+	}
+}
+
+// TestInjectedPanicIsTyped: a par.worker.panic injection surfaces as a
+// KernelPanicError wrapping *fault.InjectedFault, so recovery sites can tell
+// a provoked fault from a genuine bug via errors.As.
+func TestInjectedPanicIsTyped(t *testing.T) {
+	d := NewDevice(4)
+	in := fault.MustParse("par.worker.panic:at=1", 7)
+	d.SetFaults(in)
+	err := d.Launch("injected", 2048, func(int) {})
+	d.SetFaults(nil)
+	var inj *fault.InjectedFault
+	if !errors.As(err, &inj) {
+		t.Fatalf("err = %v, want to unwrap to *fault.InjectedFault", err)
+	}
+	if inj.Hook != fault.HookWorkerPanic {
+		t.Fatalf("injected hook = %q", inj.Hook)
+	}
+	// Disarmed again: the same device runs clean.
+	if err := d.Launch("clean", 2048, func(int) {}); err != nil {
+		t.Fatalf("launch after disarm failed: %v", err)
+	}
+}
+
+// TestFirstPanicWins: concurrent panics from several chunks must collapse to
+// one coherent error, not a torn write.
+func TestFirstPanicWins(t *testing.T) {
+	d := NewDevice(8)
+	err := d.Launch("multi", 10000, func(i int) { panic(i) })
+	var kp *KernelPanicError
+	if !errors.As(err, &kp) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := kp.Value.(int); !ok {
+		t.Fatalf("panic value = %v (%T), want an int index", kp.Value, kp.Value)
+	}
+}

@@ -22,14 +22,44 @@ package par
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"simsweep/internal/fault"
 	"simsweep/internal/trace"
 )
+
+// KernelPanicError is returned from Launch/LaunchChunked when a kernel body
+// panicked on any participating goroutine. The panic is recovered inside the
+// worker, remaining chunks of the launch are drained without executing, and
+// the pool stays fully usable for subsequent launches — a panicking kernel
+// costs one failed launch, not the process.
+type KernelPanicError struct {
+	// Kernel is the name of the launch whose body panicked.
+	Kernel string
+	// Value is the value the kernel panicked with.
+	Value interface{}
+	// Stack is the stack trace captured at the recovery point.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("par: kernel %q panicked: %v", e.Kernel, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (an injected
+// *fault.InjectedFault, say) to errors.Is/As.
+func (e *KernelPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Device executes flat index spaces in parallel. The zero value is not
 // usable; create one with NewDevice. A Device is safe for concurrent use,
@@ -51,6 +81,11 @@ type Device struct {
 	tracer   atomic.Pointer[trace.Tracer]
 	observer atomic.Pointer[func(name string, items int, d time.Duration)]
 
+	// faults, when set, is consulted once per executed chunk for the
+	// par.worker.panic hook; the atomic keeps arming/disarming lock-free,
+	// like the tracer.
+	faults atomic.Pointer[fault.Injector]
+
 	mu    sync.Mutex
 	stats map[string]*KernelStats
 }
@@ -60,6 +95,7 @@ type KernelStats struct {
 	Launches int           // number of Launch calls
 	Items    int64         // total number of indices processed
 	Time     time.Duration // wall-clock time spent inside Launch
+	Panics   int           // launches that failed with a KernelPanicError
 }
 
 // NewDevice returns a Device with the given degree of parallelism.
@@ -111,6 +147,15 @@ func (d *Device) SetObserver(fn func(name string, items int, d time.Duration)) {
 	d.observer.Store(&fn)
 }
 
+// SetFaults arms (or, with nil, disarms) a fault injector on the device.
+// While armed, every executed kernel chunk consults the par.worker.panic
+// hook; a hit panics inside the worker and surfaces as a KernelPanicError
+// from the launch. The engines arm the per-job injector before a check and
+// disarm it after, exactly like SetTracer.
+func (d *Device) SetFaults(in *fault.Injector) {
+	d.faults.Store(in)
+}
+
 // Close releases the worker goroutines. It is optional — a garbage-collected
 // Device closes itself — and safe to call more than once; launches after
 // Close run on the calling goroutine only.
@@ -123,30 +168,37 @@ func (d *Device) Close() {
 
 // Launch executes fn for every index in [0, n), in parallel, and returns
 // when all indices have been processed. The name keys the kernel statistics.
-// fn must not panic; indices are distributed in contiguous chunks to keep
-// memory access patterns coalesced-like (neighbouring indices touch
-// neighbouring data), which is the CPU analogue of the coalescing argument
-// in the paper.
-func (d *Device) Launch(name string, n int, fn func(i int)) {
+// Indices are distributed in contiguous chunks to keep memory access
+// patterns coalesced-like (neighbouring indices touch neighbouring data),
+// which is the CPU analogue of the coalescing argument in the paper.
+//
+// A panic in fn is recovered on the goroutine that hit it and returned as a
+// *KernelPanicError; the launch still synchronises (every remaining chunk is
+// drained, without executing) and the pool stays usable. Results computed by
+// the launch are then suspect and must be discarded by the caller.
+func (d *Device) Launch(name string, n int, fn func(i int)) error {
 	start := time.Now()
-	d.parallelRange(name, n, func(lo, hi int) {
+	err := d.parallelRange(name, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}
 	})
-	d.record(name, n, time.Since(start))
+	d.record(name, n, time.Since(start), err != nil)
+	return err
 }
 
 // LaunchChunked is like Launch but hands each worker a contiguous range
 // [lo, hi) instead of a single index, avoiding per-index closure overhead in
-// hot kernels (the word-level dimension of parallelism).
-func (d *Device) LaunchChunked(name string, n int, fn func(lo, hi int)) {
+// hot kernels (the word-level dimension of parallelism). Panic recovery
+// follows the Launch contract.
+func (d *Device) LaunchChunked(name string, n int, fn func(lo, hi int)) error {
 	start := time.Now()
-	d.parallelRange(name, n, fn)
-	d.record(name, n, time.Since(start))
+	err := d.parallelRange(name, n, fn)
+	d.record(name, n, time.Since(start), err != nil)
+	return err
 }
 
-func (d *Device) record(name string, n int, dt time.Duration) {
+func (d *Device) record(name string, n int, dt time.Duration, panicked bool) {
 	d.mu.Lock()
 	ks := d.stats[name]
 	if ks == nil {
@@ -156,6 +208,9 @@ func (d *Device) record(name string, n int, dt time.Duration) {
 	ks.Launches++
 	ks.Items += int64(n)
 	ks.Time += dt
+	if panicked {
+		ks.Panics++
+	}
 	d.mu.Unlock()
 	if obs := d.observer.Load(); obs != nil {
 		(*obs)(name, n, dt)
@@ -168,14 +223,14 @@ func (d *Device) record(name string, n int, dt time.Duration) {
 // is capped at the number of chunks actually available, so a tiny index
 // space on a wide device neither degrades to per-index atomic traffic nor
 // wakes workers that would find nothing to do.
-func (d *Device) parallelRange(name string, n int, fn func(lo, hi int)) {
+func (d *Device) parallelRange(name string, n int, fn func(lo, hi int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := d.workers
+	flt := d.faults.Load()
 	if w <= 1 || n == 1 || d.pool == nil {
-		fn(0, n)
-		return
+		return errOrNil(execGuarded(name, flt, 0, n, fn))
 	}
 	const chunksPerWorker = 4
 	chunk := n / (w * chunksPerWorker)
@@ -184,12 +239,11 @@ func (d *Device) parallelRange(name string, n int, fn func(lo, hi int)) {
 	}
 	nchunks := (n + chunk - 1) / chunk
 	if nchunks <= 1 {
-		fn(0, n)
-		return
+		return errOrNil(execGuarded(name, flt, 0, n, fn))
 	}
-	t := &task{fn: fn, n: int64(n), chunk: int64(chunk), remaining: int64(n), done: make(chan struct{})}
+	t := &task{fn: fn, name: name, faults: flt, n: int64(n), chunk: int64(chunk), remaining: int64(n), done: make(chan struct{})}
 	if tr := d.tracer.Load(); tr.Enabled() {
-		t.tr, t.name = tr, name
+		t.tr = tr
 	}
 	// The launcher claims chunks too, so at most nchunks-1 helpers are
 	// useful; submit caps the wake-ups at the pool size.
@@ -198,12 +252,37 @@ func (d *Device) parallelRange(name string, n int, fn func(lo, hi int)) {
 	if atomic.LoadInt64(&t.remaining) != 0 {
 		<-t.done
 	}
+	return errOrNil(t.err.Load())
+}
+
+// errOrNil converts a typed-nil *KernelPanicError into an untyped nil error
+// so callers can compare the launch result against nil directly.
+func errOrNil(e *KernelPanicError) error {
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+// execGuarded runs one chunk of a kernel body under panic recovery,
+// consulting the par.worker.panic fault hook first. It returns the recovered
+// panic as a *KernelPanicError, or nil when the chunk completed.
+func execGuarded(name string, flt *fault.Injector, lo, hi int, fn func(lo, hi int)) (err *KernelPanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &KernelPanicError{Kernel: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	flt.Panic(fault.HookWorkerPanic)
+	fn(lo, hi)
+	return nil
 }
 
 // task is one kernel launch in flight: a flat index space carved into
 // chunks that are claimed lock-free through the next ticket.
 type task struct {
 	fn        func(lo, hi int)
+	name      string
 	n         int64
 	chunk     int64
 	next      int64 // atomic ticket: prefix of claimed indices
@@ -211,10 +290,18 @@ type task struct {
 	dequeued  int32 // atomic flag: task removed from the pool queue
 	done      chan struct{}
 
-	// tr and name are set at launch time only while tracing is enabled;
-	// workers read them to record their participation in the kernel.
-	tr   *trace.Tracer
-	name string
+	// err records the first kernel panic recovered on any goroutine; once
+	// set, later chunks are drained (claimed and counted) without running
+	// the body, so the launch synchronises quickly instead of piling up
+	// further panics on known-poisoned state.
+	err atomic.Pointer[KernelPanicError]
+
+	// faults rides in from the device at launch time (nil when disarmed).
+	faults *fault.Injector
+
+	// tr is set at launch time only while tracing is enabled; workers read
+	// it to record their participation in the kernel.
+	tr *trace.Tracer
 }
 
 // run executes the task on the given track: the plain chunk-claiming loop
@@ -250,7 +337,11 @@ func (t *task) runChunks(p *pool) int64 {
 		if hi > t.n {
 			hi = t.n
 		}
-		t.fn(int(lo), int(hi))
+		if t.err.Load() == nil {
+			if err := execGuarded(t.name, t.faults, int(lo), int(hi), t.fn); err != nil {
+				t.err.CompareAndSwap(nil, err)
+			}
+		}
 		items += hi - lo
 		if atomic.AddInt64(&t.remaining, lo-hi) == 0 {
 			t.dequeue(p)

@@ -7,11 +7,13 @@
 package satsweep
 
 import (
+	"fmt"
 	"time"
 
 	"simsweep/internal/aig"
 	"simsweep/internal/cnf"
 	"simsweep/internal/ec"
+	"simsweep/internal/fault"
 	"simsweep/internal/miter"
 	"simsweep/internal/par"
 	"simsweep/internal/sat"
@@ -64,6 +66,11 @@ type Options struct {
 	// Trace, when non-nil and enabled, receives one span per SAT call
 	// with the solver status and the conflicts the call consumed.
 	Trace *trace.Tracer
+	// Faults, when armed, is consulted before each pair's SAT call for the
+	// satsweep.pair.oom hook — a hit panics, modelling a resource blow-up,
+	// and is recovered by CheckMiter into an Undecided degraded result.
+	// Nil-safe.
+	Faults *fault.Injector
 }
 
 func (o *Options) stopped() bool {
@@ -110,16 +117,35 @@ type Result struct {
 	CEX     []bool
 	Reduced *aig.AIG
 	Stats   Stats
+	// Faults lists the internal faults the sweep survived (recovered
+	// panics, failed simulation kernels), oldest first. A non-empty chain
+	// with an Undecided outcome means the sweep degraded rather than
+	// genuinely exhausting its budget.
+	Faults []string
 }
 
 // CheckMiter decides whether the miter m is constant zero. With an
 // unlimited conflict budget the sweep is complete: it returns Equivalent or
 // NotEquivalent. With a budget it may return Undecided together with the
 // reduced miter.
-func CheckMiter(m *aig.AIG, opt Options) Result {
+//
+// The sweep never propagates a panic: a panicking round (a genuine bug, an
+// injected satsweep.pair.oom fault, or a blow-up in the solver) is recovered
+// into an Undecided result carrying the original miter and the fault chain,
+// so a crashing backend costs a verdict, not the process.
+func CheckMiter(m *aig.AIG, opt Options) (res Result) {
 	start := time.Now()
-	res := checkMiter(m, opt)
-	res.Stats.Runtime = time.Since(start)
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				Outcome: Undecided,
+				Reduced: m,
+				Faults:  []string{fmt.Sprintf("satsweep.recovered: %v", r)},
+			}
+		}
+		res.Stats.Runtime = time.Since(start)
+	}()
+	res = checkMiter(m, opt)
 	return res
 }
 
@@ -146,7 +172,14 @@ func checkMiter(m *aig.AIG, opt Options) Result {
 			return res
 		}
 
-		sims := partial.Simulate(cur)
+		sims, err := partial.Simulate(cur)
+		if err != nil {
+			// A simulation kernel failed; its signatures are garbage and
+			// must not build classes or disproofs. Degrade to Undecided.
+			res.Faults = append(res.Faults, fmt.Sprintf("sim.partial: %v", err))
+			res.Reduced = cur
+			return res
+		}
 		if po, assign := partial.FindNonZeroPO(cur, sims); po >= 0 {
 			res.Outcome = NotEquivalent
 			res.CEX = assignToInputs(cur, assign)
@@ -202,6 +235,9 @@ func sweepRound(cur *aig.AIG, classes *ec.Manager, partial *sim.Partial, opt Opt
 		if mergedInto[pair.Member] {
 			continue
 		}
+		// Model a resource blow-up building or solving this pair's query;
+		// the panic unwinds to CheckMiter's recovery.
+		opt.Faults.Panic(fault.HookSATOOM)
 		a := aig.MakeLit(int(pair.Repr), false)
 		b := aig.MakeLit(int(pair.Member), pair.Compl)
 		assume := enc.XorAssumption(a, b)
@@ -251,6 +287,10 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 			res.Reduced = cur
 			return res
 		}
+		// PO-constancy queries are pair checks against constant zero, so
+		// they share the pair hook; this also guarantees the hook has a
+		// firing opportunity on miters whose classes yield no pairs.
+		opt.Faults.Panic(fault.HookSATOOM)
 		res.Stats.SATCalls++
 		switch tracedSolve(tb, "sat.po", solver, enc.LitOf(po)) {
 		case sat.Unsat:

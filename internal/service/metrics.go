@@ -121,4 +121,26 @@ func writeMetrics(w io.Writer, st Stats) {
 	fmt.Fprintf(w, "# TYPE cecd_latency_seconds summary\n")
 	fmt.Fprintf(w, "cecd_latency_seconds{quantile=\"0.5\"} %g\n", st.P50.Seconds())
 	fmt.Fprintf(w, "cecd_latency_seconds{quantile=\"0.99\"} %g\n", st.P99.Seconds())
+
+	fmt.Fprintf(w, "# HELP cecd_runner_crashes_total Recovered runner panics (injected or real).\n")
+	fmt.Fprintf(w, "# TYPE cecd_runner_crashes_total counter\n")
+	fmt.Fprintf(w, "cecd_runner_crashes_total %d\n", st.RunnerCrashes)
+	fmt.Fprintf(w, "# HELP cecd_requeues_total Jobs given a second attempt after a runner crash.\n")
+	fmt.Fprintf(w, "# TYPE cecd_requeues_total counter\n")
+	fmt.Fprintf(w, "cecd_requeues_total %d\n", st.Requeues)
+	fmt.Fprintf(w, "# HELP cecd_degraded_total Jobs whose result survived internal faults (Result.Degraded).\n")
+	fmt.Fprintf(w, "# TYPE cecd_degraded_total counter\n")
+	fmt.Fprintf(w, "cecd_degraded_total %d\n", st.Degraded)
+	if st.FaultsByHook != nil {
+		fmt.Fprintf(w, "# HELP cecd_faults_total Fires of each armed fault-injection hook.\n")
+		fmt.Fprintf(w, "# TYPE cecd_faults_total counter\n")
+		hooks := make([]string, 0, len(st.FaultsByHook))
+		for h := range st.FaultsByHook {
+			hooks = append(hooks, h)
+		}
+		sort.Strings(hooks)
+		for _, h := range hooks {
+			fmt.Fprintf(w, "cecd_faults_total{hook=%q} %d\n", h, st.FaultsByHook[h])
+		}
+	}
 }

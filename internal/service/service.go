@@ -20,6 +20,7 @@ import (
 
 	"simsweep"
 	"simsweep/internal/aig"
+	"simsweep/internal/fault"
 	"simsweep/internal/par"
 	"simsweep/internal/trace"
 )
@@ -83,6 +84,22 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Log, when non-nil, receives one line per job transition.
 	Log io.Writer
+	// Faults, when armed, injects deterministic faults into the service and
+	// into every job it runs: the service.runner.crash hook crashes a runner
+	// as it picks up a job (the runner recovers, re-queues the job once with
+	// backoff, then fails it with a typed error), and the injector is passed
+	// down into the engines so the kernel/simulation/SAT hooks fire too.
+	// Nil (the default) disables every hook at zero cost.
+	Faults *fault.Injector
+	// PhaseBudget bounds each simulation-engine phase of every job by wall
+	// clock (see simsweep.Options.PhaseBudget). Zero disables the watchdog.
+	PhaseBudget time.Duration
+	// CrashBackoffBase is the first delay of a crashed runner's capped
+	// exponential backoff (default 50ms); CrashBackoffMax caps it
+	// (default 2s). A runner that completes a job cleanly resets to base.
+	CrashBackoffBase time.Duration
+	// CrashBackoffMax caps the crashed-runner backoff (default 2s).
+	CrashBackoffMax time.Duration
 }
 
 func (c *Config) fill() {
@@ -100,6 +117,12 @@ func (c *Config) fill() {
 	}
 	if c.RingSize <= 0 {
 		c.RingSize = 256
+	}
+	if c.CrashBackoffBase <= 0 {
+		c.CrashBackoffBase = 50 * time.Millisecond
+	}
+	if c.CrashBackoffMax <= 0 {
+		c.CrashBackoffMax = 2 * time.Second
 	}
 }
 
@@ -136,6 +159,9 @@ type Job struct {
 	// Traced marks a job that recorded an execution trace; fetch it with
 	// Service.Trace once the job is terminal.
 	Traced bool
+	// Retries counts how many times the job was re-queued after a runner
+	// crash (at most 1: a job whose second attempt also crashes fails).
+	Retries int
 }
 
 // job pairs the published record with the scheduling machinery that must
@@ -175,9 +201,12 @@ type Service struct {
 	running int
 
 	// counters for /metrics
-	hits, misses uint64
-	byOutcome    map[State]uint64
-	latencies    *latencyRing
+	hits, misses  uint64
+	byOutcome     map[State]uint64
+	latencies     *latencyRing
+	runnerCrashes uint64 // recovered runner panics (injected or real)
+	requeues      uint64 // jobs re-queued after a runner crash
+	degraded      uint64 // jobs whose result reported Degraded
 
 	// histograms for /metrics; each synchronises itself (the kernel
 	// launch observer fires concurrently from every runner).
@@ -383,11 +412,86 @@ func (s *Service) Jobs() []Job {
 }
 
 // runner is one of the K scheduler loops; it owns dev for its lifetime, so
-// at most K devices are ever simulating and total workers stay bounded.
+// at most K devices are ever simulating and total workers stay bounded. A
+// runner that crashes mid-job (an injected service.runner.crash fault, or a
+// genuine bug escaping the engines) recovers, disposes of the job — re-queue
+// once, then fail — and restarts after a capped exponential backoff, so a
+// crashing workload degrades the service's throughput, never its liveness.
 func (s *Service) runner(dev *par.Device) {
 	defer s.wg.Done()
+	backoff := s.cfg.CrashBackoffBase
 	for j := range s.queue {
-		s.runJob(j, dev)
+		if s.runGuarded(j, dev) {
+			backoff = s.cfg.CrashBackoffBase // a clean job resets the ramp
+			continue
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > s.cfg.CrashBackoffMax {
+			backoff = s.cfg.CrashBackoffMax
+		}
+	}
+}
+
+// runGuarded runs one job, converting a panicking runner into a recovered
+// crash. It reports whether the job completed without a crash.
+func (s *Service) runGuarded(j *job, dev *par.Device) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.crashed(j, r)
+			ok = false
+		}
+	}()
+	// Model the runner itself dying as it picks up the job (a heap blow-up,
+	// a bug outside the engines' own recovery nets). The panic unwinds to
+	// the recover above.
+	s.cfg.Faults.Panic(fault.HookRunnerCrash)
+	s.runJob(j, dev)
+	return true
+}
+
+// crashed settles a job whose runner panicked: re-queue it once, fail it
+// with a typed error when it already burned its retry (or the queue is
+// full, closed, or the job was cancelled meanwhile).
+func (s *Service) crashed(j *job, cause interface{}) {
+	s.mu.Lock()
+	s.runnerCrashes++
+	if j.State == StateRunning {
+		s.running--
+	}
+	if j.State.Terminal() {
+		// The panic struck after the job settled; nothing to repair.
+		s.mu.Unlock()
+		s.logf("runner: recovered crash after job %s settled: %v", j.ID, cause)
+		return
+	}
+	if j.Retries == 0 && !s.closed && !stopClosed(j.stop) {
+		j.Retries++
+		j.State = StateQueued
+		select {
+		case s.queue <- j:
+			s.requeues++
+			s.mu.Unlock()
+			s.logf("job %s: runner crashed (%v); re-queued (retry 1)", j.ID, cause)
+			return
+		default: // queue full: fall through to failure
+		}
+	}
+	j.State = StateFailed
+	j.Err = fmt.Sprintf("runner crashed: %v", cause)
+	j.Finished = time.Now()
+	s.finishLocked(j)
+	s.mu.Unlock()
+	s.logf("job %s: failed (%s)", j.ID, j.Err)
+}
+
+// stopClosed reports whether a job's stop channel has been closed.
+func stopClosed(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -395,6 +499,21 @@ func (s *Service) runJob(j *job, dev *par.Device) {
 	s.mu.Lock()
 	if j.State != StateQueued { // cancelled while waiting
 		s.mu.Unlock()
+		return
+	}
+	if stopClosed(j.stop) {
+		// The job's stop channel closed while it sat in the queue (service
+		// shutdown, or a cancel that raced the state update): settle it
+		// without ever running — a withdrawn job must never report
+		// "running", and must never produce (and cache) a verdict.
+		j.State = j.cause
+		if j.State == "" {
+			j.State = StateCancelled
+		}
+		j.Finished = time.Now()
+		s.finishLocked(j)
+		s.mu.Unlock()
+		s.logf("job %s: %s (while queued)", j.ID, j.State)
 		return
 	}
 	j.State = StateRunning
@@ -453,9 +572,16 @@ func (s *Service) runJob(j *job, dev *par.Device) {
 	default:
 		j.State = StateDone
 		j.Result = &res
-		if res.Outcome != simsweep.Undecided {
+		// A degraded verdict is still trustworthy (faulted work withdraws
+		// its claims rather than guess) but is not cached: a later identical
+		// submission deserves a healthy run, and chaos soaks must keep
+		// exercising the engines rather than the cache.
+		if res.Outcome != simsweep.Undecided && !res.Degraded {
 			s.cache.put(j.key, res)
 		}
+	}
+	if res.Degraded {
+		s.degraded++
 	}
 	s.finishLocked(j)
 	s.mu.Unlock()
@@ -473,6 +599,8 @@ func (s *Service) check(req Request, dev *par.Device, stop <-chan struct{}, trac
 		Workers:       dev.Workers(),
 		Stop:          stop,
 		Trace:         tracer,
+		Faults:        s.cfg.Faults,
+		PhaseBudget:   s.cfg.PhaseBudget,
 	}
 	if req.Miter != nil {
 		return simsweep.CheckMiter(req.Miter, opts)
@@ -509,6 +637,15 @@ type Stats struct {
 	P99         time.Duration
 	Workers     int // total worker budget across the K devices
 	Concurrent  int // K
+	// RunnerCrashes counts recovered runner panics; Requeues the jobs given
+	// a second attempt after one; Degraded the jobs whose result survived
+	// internal faults.
+	RunnerCrashes uint64
+	Requeues      uint64
+	Degraded      uint64
+	// FaultsByHook is the armed injector's fire count per hook (nil when
+	// the service runs without fault injection).
+	FaultsByHook map[string]uint64
 }
 
 // Stats returns the current counters.
@@ -521,16 +658,20 @@ func (s *Service) Stats() Stats {
 	}
 	p50, p99 := s.latencies.percentiles()
 	return Stats{
-		QueueDepth:  len(s.queue),
-		Running:     s.running,
-		CacheHits:   s.hits,
-		CacheMisses: s.misses,
-		CacheSize:   s.cache.len(),
-		ByOutcome:   by,
-		P50:         p50,
-		P99:         p99,
-		Workers:     s.cfg.TotalWorkers,
-		Concurrent:  s.cfg.MaxConcurrent,
+		QueueDepth:    len(s.queue),
+		Running:       s.running,
+		CacheHits:     s.hits,
+		CacheMisses:   s.misses,
+		CacheSize:     s.cache.len(),
+		ByOutcome:     by,
+		P50:           p50,
+		P99:           p99,
+		Workers:       s.cfg.TotalWorkers,
+		Concurrent:    s.cfg.MaxConcurrent,
+		RunnerCrashes: s.runnerCrashes,
+		Requeues:      s.requeues,
+		Degraded:      s.degraded,
+		FaultsByHook:  s.cfg.Faults.Counts(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"simsweep/internal/aig"
+	"simsweep/internal/fault"
 	"simsweep/internal/par"
 	"simsweep/internal/trace"
 	"simsweep/internal/tt"
@@ -42,6 +43,16 @@ type Result struct {
 	// counts node·word units of work, for the benchmark harness.
 	Rounds         int
 	WordsSimulated int64
+
+	// Err is non-nil when a simulation kernel failed (a recovered worker
+	// panic). The batch's verdicts are then conservative: every Equal entry
+	// is false and every CEX is nil, so a faulted batch can never prove or
+	// disprove a pair — it only loses progress.
+	Err error
+	// Stopped reports that the Exhaustive.Stop callback cancelled the batch
+	// between rounds. As with Err, every verdict is withdrawn: a cancelled
+	// batch proves and disproves nothing.
+	Stopped bool
 }
 
 // Exhaustive is the exhaustive simulator (Algorithm 1). BudgetWords caps
@@ -71,6 +82,15 @@ type Exhaustive struct {
 	// round (tasks dispatched, word-sliced task fan-out). Costs one atomic
 	// load per batch when disabled.
 	Trace *trace.Tracer
+	// Faults, when armed, is consulted once per simulation round for the
+	// sim.round.stall hook (a hit sleeps the control goroutine for the
+	// hook's delay, provoking the engine's phase watchdog). Nil-safe.
+	Faults *fault.Injector
+	// Stop, when non-nil, is polled at every round boundary; a true return
+	// cancels the batch, withdrawing every verdict (Result.Stopped). The
+	// engine wires its watchdog-aware cancellation check in here, so a
+	// phase stuck inside a multi-round batch is still cancellable.
+	Stop func() bool
 
 	scratch sync.Pool // *batchScratch: per-batch buffers, reused
 }
@@ -304,6 +324,19 @@ func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Res
 	rounds := (maxTT + E - 1) / E
 	tasks := sc.tasks[:0]
 	for r := 0; r < rounds; r++ {
+		// An injected round stall parks the control goroutine here; the
+		// poll right after is the batch's cancellation point, so a watchdog
+		// or client cancel arriving during the stall (or a previous round)
+		// aborts the batch instead of waiting out the remaining dispatches.
+		e.Faults.Stall(fault.HookSimStall)
+		if e.Stop != nil && e.Stop() {
+			for i := range res.Equal {
+				res.Equal[i] = false
+				res.CEXs[i] = nil
+			}
+			res.Stopped = true
+			break
+		}
 		// Build the round's task list: one task per active window, or
 		// several word-range slices for windows above the slice budget.
 		tasks = tasks[:0]
@@ -360,12 +393,26 @@ func (e *Exhaustive) CheckBatch(g *aig.AIG, pairs []Pair, windows []*Window) Res
 		// cross-window dimension needs no inter-window barrier, and the
 		// word-level and level-wise dimensions run inside each task.
 		rr := r
-		e.Dev.LaunchChunked("exhaustive.window", len(tasks), func(lo, hi int) {
+		err := e.Dev.LaunchChunked("exhaustive.window", len(tasks), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				tasks[i].run(simt, E, rr)
 			}
 		})
 		rsp.End()
+		if err != nil {
+			// A kernel panicked: the simulation table and the per-task
+			// mismatch buffers are unreliable. Withdraw every verdict —
+			// Equal entries were optimistically true and are now unproven,
+			// and recorded mismatches may be garbage — and report the fault.
+			for i := range res.Equal {
+				res.Equal[i] = false
+				res.CEXs[i] = nil
+			}
+			res.Err = err
+			sc.tasks = tasks
+			bsp.End()
+			return res
+		}
 
 		// Sequential resolution in task order (windows ascending, word
 		// ranges ascending): verdicts and counter-examples are identical

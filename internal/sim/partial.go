@@ -120,7 +120,11 @@ func (p *Partial) AddPattern(assign []PIValue) {
 // Simulate propagates the pattern bank through g and returns per-node
 // simulation words (indexed by node id, each of length Words()). Node 0 is
 // constant zero. Simulation is level-wise parallel on the device.
-func (p *Partial) Simulate(g *aig.AIG) [][]uint64 {
+//
+// A non-nil error means a simulation kernel failed (a recovered worker
+// panic) and the returned values are unusable; callers must not derive
+// verdicts — in particular disproofs — from them.
+func (p *Partial) Simulate(g *aig.AIG) ([][]uint64, error) {
 	n := g.NumNodes()
 	W := p.words
 	if p.Trace.Enabled() {
@@ -151,7 +155,7 @@ func (p *Partial) Simulate(g *aig.AIG) [][]uint64 {
 	}
 	for l := int32(1); l <= maxLevel; l++ {
 		batch := byLevel[l]
-		p.dev.LaunchChunked("partial.level", len(batch), func(lo, hi int) {
+		err := p.dev.LaunchChunked("partial.level", len(batch), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := int(batch[i])
 				f0, f1 := g.Fanins(id)
@@ -171,13 +175,19 @@ func (p *Partial) Simulate(g *aig.AIG) [][]uint64 {
 				}
 			}
 		})
+		if err != nil {
+			// A level kernel panicked: levels above l hold garbage, and a
+			// garbage sweep must never reach FindNonZeroPO (it could
+			// fabricate a disproof of an equivalent miter).
+			return nil, err
+		}
 	}
 
 	result := make([][]uint64, n)
 	for id := 0; id < n; id++ {
 		result[id] = simOf(id)
 	}
-	return result
+	return result, nil
 }
 
 // FindNonZeroPO scans PO simulation values and returns the index of a PO

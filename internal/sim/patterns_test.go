@@ -21,7 +21,7 @@ func wideAnd(w int) (*aig.AIG, aig.Lit) {
 func TestFindBiasedDetectsWideAnd(t *testing.T) {
 	g, top := wideAnd(12)
 	p := NewPartial(dev(), g.NumPIs(), 4, 1)
-	sims := p.Simulate(g)
+	sims, _ := p.Simulate(g)
 	biased := FindBiased(g, sims, p.Words(), 0.02, 16)
 	found := false
 	for _, b := range biased {
@@ -85,7 +85,7 @@ func TestJustifyDetectsImpossibleGoal(t *testing.T) {
 func TestAddGuidedPatternsTogglesStuckNodes(t *testing.T) {
 	g, top := wideAnd(14)
 	p := NewPartial(dev(), g.NumPIs(), 2, 4)
-	sims := p.Simulate(g)
+	sims, _ := p.Simulate(g)
 	onesBefore := 0
 	for _, w := range sims[top.ID()] {
 		if w != 0 {
@@ -99,7 +99,7 @@ func TestAddGuidedPatternsTogglesStuckNodes(t *testing.T) {
 	if added == 0 {
 		t.Fatal("no guided patterns added")
 	}
-	sims = p.Simulate(g)
+	sims, _ = p.Simulate(g)
 	ones := 0
 	for _, w := range sims[top.ID()] {
 		ones += popcount(w)
@@ -137,13 +137,13 @@ func TestGuidedPatternsSplitFalseClasses(t *testing.T) {
 	}
 	g.AddPO(g.And(and1, and2))
 	p := NewPartial(dev(), 20, 1, 6)
-	sims := p.Simulate(g)
+	sims, _ := p.Simulate(g)
 	s1, s2 := sims[and1.ID()], sims[and2.ID()]
 	if s1[0] != 0 || s2[0] != 0 {
 		t.Skip("random patterns already separated the nodes")
 	}
 	p.AddGuidedPatterns(g, sims, 16, 7)
-	sims = p.Simulate(g)
+	sims, _ = p.Simulate(g)
 	same := true
 	for w := range sims[and1.ID()] {
 		if sims[and1.ID()][w] != sims[and2.ID()][w] {

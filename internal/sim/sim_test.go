@@ -41,7 +41,7 @@ func TestPartialSimulateMatchesEval(t *testing.T) {
 	g.AddPO(lits[len(lits)-1])
 
 	p := NewPartial(dev(), g.NumPIs(), 2, 99)
-	sims := p.Simulate(g)
+	sims, _ := p.Simulate(g)
 	// Check a handful of patterns against bit-level evaluation.
 	for w := 0; w < p.Words(); w++ {
 		for bit := uint(0); bit < 64; bit += 17 {
@@ -76,7 +76,7 @@ func TestAddPatternPacksAndApplies(t *testing.T) {
 	if p.Words() != w0+1 {
 		t.Fatalf("words = %d, want %d", p.Words(), w0+1)
 	}
-	sims := p.Simulate(g)
+	sims, _ := p.Simulate(g)
 	and := g.PO(0)
 	last := sims[and.ID()][p.Words()-1]
 	if last&1 != 1 {
@@ -106,7 +106,7 @@ func TestFindNonZeroPO(t *testing.T) {
 	g.AddPO(g.And(a, b))
 	p := NewPartial(dev(), 2, 1, 5)
 	p.AddPattern([]PIValue{{0, true}, {1, true}})
-	sims := p.Simulate(g)
+	sims, _ := p.Simulate(g)
 	po, assign := p.FindNonZeroPO(g, sims)
 	if po != 1 {
 		t.Fatalf("nonzero PO = %d, want 1", po)
@@ -123,7 +123,11 @@ func TestFindNonZeroPO(t *testing.T) {
 	g2.AddPI()
 	g2.AddPO(aig.False)
 	p2 := NewPartial(dev(), 1, 4, 5)
-	if po, _ := p2.FindNonZeroPO(g2, p2.Simulate(g2)); po != -1 {
+	sims2, err := p2.Simulate(g2)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if po, _ := p2.FindNonZeroPO(g2, sims2); po != -1 {
 		t.Fatalf("constant-zero miter reported PO %d", po)
 	}
 }

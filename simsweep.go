@@ -26,12 +26,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"simsweep/internal/aig"
 	"simsweep/internal/aiger"
 	"simsweep/internal/bdd"
 	"simsweep/internal/core"
+	"simsweep/internal/fault"
 	"simsweep/internal/gen"
 	"simsweep/internal/miter"
 	"simsweep/internal/opt"
@@ -220,6 +222,48 @@ type Options struct {
 	// trace.WritePhaseReport. The portfolio engine does not trace its
 	// racing members.
 	Trace *Tracer
+	// Faults, when armed (ParseFaults), injects deterministic faults into
+	// every layer of the check — kernel panics in the device, stalled
+	// simulation rounds, SAT resource blow-ups — to exercise the
+	// graceful-degradation machinery. The injector is attached to the
+	// device for the duration of the check (like Trace) and passed to the
+	// engines. Nil (the default) disables every hook at zero cost.
+	Faults *FaultInjector
+	// PhaseBudget bounds each simulation-engine phase by wall clock; a
+	// phase still running at the deadline is cancelled cooperatively and
+	// the check degrades (Result.Degraded) instead of hanging. Zero
+	// disables the watchdog. See core.Config.PhaseBudget.
+	PhaseBudget time.Duration
+	// PhaseWorkBudget bounds each simulation-engine phase by estimated
+	// simulation effort in node·word units. Zero disables the cap. See
+	// core.Config.PhaseWorkBudget.
+	PhaseWorkBudget int64
+
+	// noFallback disables the hybrid flow's portfolio fallback step. It is
+	// set internally for portfolio members so that a degraded member never
+	// recursively launches another portfolio.
+	noFallback bool
+}
+
+// FaultInjector re-exports the fault-injection registry (see
+// internal/fault): a deterministic, seed-driven set of armed fault hooks.
+// Create one with ParseFaults and pass it via Options.Faults.
+type FaultInjector = fault.Injector
+
+// ParseFaults compiles a fault spec into an injector. The grammar is
+// "hook:param,param;hook:...", with params p= (probability), at= (exact
+// visit), every= (period), limit= (fire cap) and delay= (stall duration);
+// an entry with no params fires on every visit. Known hooks:
+//
+//	par.worker.panic      panic inside a parallel kernel chunk
+//	sim.round.stall       stall an exhaustive-simulation round
+//	satsweep.pair.oom     resource blow-up before a SAT pair query
+//	service.runner.crash  crash a service runner picking up a job
+//
+// All randomness derives from seed, so a spec+seed pair provokes the same
+// faults on every run.
+func ParseFaults(spec string, seed int64) (*FaultInjector, error) {
+	return fault.Parse(spec, seed)
 }
 
 // Tracer re-exports the trace recorder (see internal/trace). Create one
@@ -261,6 +305,18 @@ type Result struct {
 	// Options.Stop cancelled it (client cancellation or timeout), not
 	// because the engine genuinely ran out of ideas.
 	Stopped bool
+	// Degraded reports that the check survived one or more internal faults
+	// (kernel panics, watchdog trips, a crashed backend) by abandoning
+	// work or falling back down the degradation ladder
+	// sim → SAT → portfolio → Undecided. The Outcome is still trustworthy —
+	// faulted work withdraws its verdicts rather than guess — but may be
+	// weaker than a healthy run's.
+	Degraded bool
+	// Faults is the chain of survived faults, oldest first, in
+	// human-readable form. Empty on a healthy run. For the portfolio
+	// engine the chain holds whatever the racing members reported before
+	// the winner returned, in nondeterministic order.
+	Faults []string
 	// CEX is a PI assignment separating the circuits (NotEquivalent).
 	CEX []bool
 	// Runtime is the wall-clock time of the whole check.
@@ -312,6 +368,10 @@ func checkMiter(m *AIG, o Options) (Result, error) {
 		dev.SetTracer(o.Trace)
 		defer dev.SetTracer(nil)
 	}
+	if o.Faults != nil {
+		dev.SetFaults(o.Faults)
+		defer dev.SetFaults(nil)
+	}
 	switch o.Engine {
 	case "", EngineHybrid:
 		return runHybrid(m, o, dev), nil
@@ -345,6 +405,13 @@ func (o Options) simConfig(dev *par.Device) core.Config {
 		cfg.Log = o.Log
 	}
 	cfg.Trace = o.Trace
+	cfg.Faults = o.Faults
+	if o.PhaseBudget > 0 {
+		cfg.PhaseBudget = o.PhaseBudget
+	}
+	if o.PhaseWorkBudget > 0 {
+		cfg.PhaseWorkBudget = o.PhaseWorkBudget
+	}
 	return cfg
 }
 
@@ -374,6 +441,8 @@ func runSim(m *AIG, o Options, dev *par.Device) Result {
 	return Result{
 		Outcome:        outcomeOfCore(cr.Outcome),
 		Stopped:        cr.Stopped,
+		Degraded:       cr.Degraded,
+		Faults:         cr.Faults,
 		CEX:            cr.CEX,
 		EngineUsed:     "sim",
 		SimPhases:      cr.Phases,
@@ -391,10 +460,13 @@ func runSAT(m *AIG, o Options, dev *par.Device) Result {
 		Seed:          o.Seed,
 		Stop:          o.Stop,
 		Trace:         o.Trace,
+		Faults:        o.Faults,
 	})
 	return Result{
 		Outcome:    outcomeOfSweep(sr.Outcome),
 		Stopped:    sr.Stopped,
+		Degraded:   len(sr.Faults) > 0,
+		Faults:     sr.Faults,
 		CEX:        sr.CEX,
 		EngineUsed: "sat",
 		SATTime:    sr.Stats.Runtime,
@@ -421,12 +493,20 @@ func runBDD(m *AIG, o Options) Result {
 // sweeping on the reduced miter when something is left undecided. The
 // engine's pattern bank (carrying every counter-example it found) seeds
 // the SAT sweep, so disproved pairs are never re-proved (§V EC transfer).
+//
+// Under fault injection the flow is also the first two rungs of the
+// degradation ladder: a degraded simulation phase falls through to SAT
+// sweeping on whatever reduction survived, and a SAT sweep that itself
+// degrades to Undecided falls back to a fresh portfolio race (unless this
+// hybrid run is already a portfolio member).
 func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 	cr := core.CheckMiter(m, o.simConfig(dev))
 	stats := cr.Stats
 	r := Result{
 		Outcome:        outcomeOfCore(cr.Outcome),
 		Stopped:        cr.Stopped,
+		Degraded:       cr.Degraded,
+		Faults:         cr.Faults,
 		CEX:            cr.CEX,
 		EngineUsed:     "hybrid",
 		SimPhases:      cr.Phases,
@@ -446,12 +526,27 @@ func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 		Stop:          o.Stop,
 		SeedBank:      cr.PatternBank,
 		Trace:         o.Trace,
+		Faults:        o.Faults,
 	})
 	r.SATTime = time.Since(satStart)
 	r.Outcome = outcomeOfSweep(sr.Outcome)
 	r.Stopped = sr.Stopped
 	r.CEX = sr.CEX
 	r.Reduced = sr.Reduced
+	if len(sr.Faults) > 0 {
+		r.Degraded = true
+		r.Faults = append(r.Faults, sr.Faults...)
+	}
+	// Ladder step: the SAT rung degraded without a verdict — race the
+	// remaining engines rather than give up. Portfolio members never take
+	// this step (noFallback), so a faulty portfolio cannot recurse.
+	if r.Outcome == Undecided && !r.Stopped && len(sr.Faults) > 0 && !o.noFallback {
+		pr := runPortfolio(m, o)
+		pr.Degraded = true
+		pr.Faults = append(r.Faults, pr.Faults...)
+		pr.EngineUsed = "hybrid→" + pr.EngineUsed
+		return pr
+	}
 	return r
 }
 
@@ -459,26 +554,50 @@ func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 // engine, first definitive verdict wins — the execution model the paper
 // attributes to commercial multi-engine checkers. An external Options.Stop
 // is merged with the portfolio's own loser-cancellation channel.
+//
+// Each racing member gets its own fault-armed device, so injected faults
+// exercise the members independently; a member that degrades to Undecided
+// simply loses the race. The fault collector is mutex-guarded because
+// portfolio.Check returns at the first verdict while loser goroutines are
+// still running — faults they report after the winner returns are lost,
+// which is fine: the chain is diagnostic, not load-bearing.
 func runPortfolio(m *AIG, o Options) Result {
+	var fmu sync.Mutex
+	var faults []string
 	engines := []portfolio.Engine{
 		{
 			Name: "hybrid",
 			Run: func(mm *AIG, stop <-chan struct{}) (portfolio.Verdict, []bool) {
 				oo := o
 				oo.Stop = mergeStop(stop, o.Stop)
-				r := runHybrid(mm, oo, par.NewDevice(o.Workers))
+				oo.noFallback = true
+				oo.Dev = nil
+				dev := par.NewDevice(o.Workers)
+				if o.Faults != nil {
+					dev.SetFaults(o.Faults)
+					defer dev.SetFaults(nil)
+				}
+				r := runHybrid(mm, oo, dev)
+				addFaults(&fmu, &faults, r.Faults)
 				return portfolioVerdict(r.Outcome), r.CEX
 			},
 		},
 		{
 			Name: "sat",
 			Run: func(mm *AIG, stop <-chan struct{}) (portfolio.Verdict, []bool) {
+				dev := par.NewDevice(o.Workers)
+				if o.Faults != nil {
+					dev.SetFaults(o.Faults)
+					defer dev.SetFaults(nil)
+				}
 				sr := satsweep.CheckMiter(mm, satsweep.Options{
-					Dev:           par.NewDevice(o.Workers),
+					Dev:           dev,
 					ConflictLimit: o.ConflictLimit,
 					Seed:          o.Seed + 1,
 					Stop:          mergeStop(stop, o.Stop),
+					Faults:        o.Faults,
 				})
+				addFaults(&fmu, &faults, sr.Faults)
 				return portfolioVerdict(outcomeOfSweep(sr.Outcome)), sr.CEX
 			},
 		},
@@ -491,13 +610,29 @@ func runPortfolio(m *AIG, o Options) Result {
 		},
 	}
 	pr := portfolio.Check(m, engines)
+	fmu.Lock()
+	chain := append([]string(nil), faults...)
+	fmu.Unlock()
 	return Result{
 		Outcome:    outcomeOfPortfolio(pr.Verdict),
 		Stopped:    pr.Verdict == portfolio.Undecided && stopRequested(o.Stop),
+		Degraded:   len(chain) > 0,
+		Faults:     chain,
 		CEX:        pr.CEX,
 		EngineUsed: "portfolio/" + pr.Engine,
 		Reduced:    m,
 	}
+}
+
+// addFaults appends a member's fault chain to the portfolio's collector
+// under its mutex.
+func addFaults(mu *sync.Mutex, dst *[]string, src []string) {
+	if len(src) == 0 {
+		return
+	}
+	mu.Lock()
+	*dst = append(*dst, src...)
+	mu.Unlock()
 }
 
 // mergeStop returns a channel closed as soon as either input closes. The
