@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test doccheck race service-race trace-race bench benchtab bench-service fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault
+.PHONY: all build test doccheck race service-race trace-race bench benchtab bench-service fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault bench-cuts
 
-all: build doccheck test fuzz chaos
+all: build doccheck test fuzz chaos bench-cuts
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,10 @@ doccheck:
 	$(GO) run ./cmd/doccheck .
 
 # Race-detector pass over the concurrency-heavy packages: the persistent
-# worker pool and the window-parallel exhaustive simulator built on it.
+# worker pool, the window-parallel exhaustive simulator built on it and the
+# wavefront cut enumerator (strata kernel + scratch pooling).
 race:
-	$(GO) test -race ./internal/par/... ./internal/sim/...
+	$(GO) test -race ./internal/par/... ./internal/sim/... ./internal/cuts/...
 
 # Race-detector pass over the service layer: the job queue/scheduler, the
 # result cache and the HTTP daemon's end-to-end test.
@@ -79,6 +80,13 @@ bench-fault:
 
 bench:
 	$(GO) test -bench 'BenchmarkExhaustiveCheckBatch|BenchmarkDeviceLaunch' -benchmem ./internal/par/ ./internal/sim/
+	$(GO) test -bench 'BenchmarkCutsPass|BenchmarkEnumerateNode' -benchmem ./internal/cuts/
+
+# Before/after comparison of the cut-enumeration kernels on every benchmark
+# family (strata kernel vs the retained per-level reference), written to
+# BENCH_cuts.json. A verdict disagreement between the two fails the run.
+bench-cuts:
+	$(GO) run ./cmd/benchtab -cuts
 
 # Replay a generated-miter workload through the service layer and write
 # throughput + cache hit rate to BENCH_service.json.

@@ -9,6 +9,8 @@
 //	                         (BENCH_service.json)
 //	benchtab -fault          fault-injection hook overhead, disabled vs
 //	                         armed-idle (BENCH_fault.json)
+//	benchtab -cuts           strata vs per-level cut enumeration on every
+//	                         family (BENCH_cuts.json)
 //
 // -size scales the instances (1 = quick, 2 = larger); -only restricts to a
 // comma-separated list of families.
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -50,7 +53,31 @@ func run() int {
 	dtN := flag.Int("difftest-n", 50, "cases for the -difftest sweep")
 	fltBench := flag.Bool("fault", false, "measure the fault-injection layer's overhead (nil vs armed-idle injector)")
 	fltJSON := flag.String("faultjson", "BENCH_fault.json", "fault overhead report path")
+	cutsBench := flag.Bool("cuts", false, "compare the strata cut-enumeration kernel against the per-level reference on every family")
+	cutsJSON := flag.String("cutsjson", "BENCH_cuts.json", "cut-enumeration benchmark report path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *cutsBench {
+		if err := runCutsBench(*cutsJSON, *size, *only, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		return 0
+	}
 
 	if *fltBench {
 		if err := runFaultBench(*fltJSON, *seed, *workers); err != nil {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"simsweep"
+	"simsweep/internal/core"
 )
 
 func main() {
@@ -40,6 +41,9 @@ func run() int {
 	faults := flag.String("faults", "", "inject faults: 'hook:p=0.1,at=3,every=2,limit=1,delay=5ms;...' (hooks: par.worker.panic, sim.round.stall, satsweep.pair.oom, service.runner.crash)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault hooks")
 	phaseBudget := flag.Duration("phase-budget", 0, "wall-clock watchdog per simulation phase; a phase over budget is cancelled and the check degrades (0: off)")
+	cutK := flag.Int("cut-k", 0, "max cut size k_l for local function checking (0: paper default 8)")
+	cutC := flag.Int("cut-c", 0, "priority cuts kept per node (0: paper default 8)")
+	cutBudget := flag.Int("cut-budget", 0, "candidate cuts enumerated per node before selection (0: 4×cut-c)")
 	flag.Parse()
 
 	opts := simsweep.Options{
@@ -48,6 +52,21 @@ func run() int {
 		Seed:          *seed,
 		ConflictLimit: *conflicts,
 		PhaseBudget:   *phaseBudget,
+	}
+	if *cutK > 0 || *cutC > 0 || *cutBudget > 0 {
+		// The cut parameters live in the sim-engine config; start from the
+		// defaults so overriding one knob keeps the rest at paper values.
+		cfg := core.DefaultConfig()
+		if *cutK > 0 {
+			cfg.Kl = *cutK
+		}
+		if *cutC > 0 {
+			cfg.C = *cutC
+		}
+		if *cutBudget > 0 {
+			cfg.CutBudget = *cutBudget
+		}
+		opts.SimConfig = &cfg
 	}
 	if *faults != "" {
 		in, ferr := simsweep.ParseFaults(*faults, *faultSeed)

@@ -56,6 +56,18 @@ type Config struct {
 	// MaxCutsPerPair bounds the common cuts tried per candidate pair in
 	// each pass.
 	MaxCutsPerPair int
+	// CutBudget caps the candidate cuts the generator enumerates per node
+	// before selection (cuts.Config.Budget). Non-positive selects the
+	// generator's default of 4·C.
+	CutBudget int
+	// CutStrataNodes is the minimum node count of one cut-enumeration
+	// launch stratum (cuts.Config.StrataNodes). Non-positive selects the
+	// generator's default; 1 reproduces per-level dispatch.
+	CutStrataNodes int
+	// ReferenceCuts selects the retained per-level reference cut
+	// enumeration (kernel "cuts.level") instead of the strata kernel —
+	// a benchmarking and differential-testing knob, not a tuning one.
+	ReferenceCuts bool
 	// MaxLocalPhases caps the repeated L phases (fixpoint reached earlier
 	// stops the loop anyway).
 	MaxLocalPhases int
@@ -270,6 +282,13 @@ type PhaseStat struct {
 	Proved    int
 	Disproved int
 	AndsAfter int // AND nodes remaining after the phase's reduction
+
+	// Cut-enumeration work of an L phase (zero for P and G phases):
+	// nodes enumerated, deduplicated candidates generated, and kernel
+	// launches across the phase's passes.
+	CutNodes      int64
+	CutCandidates int64
+	CutLaunches   int
 }
 
 // Stats aggregates a run.
@@ -305,8 +324,8 @@ type Result struct {
 	Degraded bool
 	// Faults is the chain of survived faults, oldest first, in human-
 	// readable form. Empty on a healthy run.
-	Faults []string
-	CEX    []bool // PI assignment disproving the miter
+	Faults  []string
+	CEX     []bool // PI assignment disproving the miter
 	Reduced *aig.AIG
 	Phases  []PhaseStat
 	// Snapshots holds the cleaned intermediate miters after the named

@@ -649,8 +649,10 @@ func (e *engine) phaseL() int {
 		stat.AndsAfter = e.cur.NumAnds()
 		e.res.Phases = append(e.res.Phases, stat)
 		e.endPhaseSpan(&sp, &stat)
-		e.cfg.logf("phase L: checked=%d proved=%d ands=%d (%v)",
-			stat.Checked, stat.Proved, stat.AndsAfter, stat.Duration.Round(time.Millisecond))
+		e.cfg.logf("phase L: checked=%d proved=%d ands=%d cutnodes=%d cutcands=%d cutlaunches=%d (%v)",
+			stat.Checked, stat.Proved, stat.AndsAfter,
+			stat.CutNodes, stat.CutCandidates, stat.CutLaunches,
+			stat.Duration.Round(time.Millisecond))
 	}()
 
 	sims := e.resimulate()
@@ -670,6 +672,20 @@ func (e *engine) phaseL() int {
 		passes = cuts.Passes
 	}
 	passProved := make(map[cuts.Pass]int, len(passes))
+	// One generator serves every pass of the phase: the structure and the
+	// classes are fixed until the reduction at the end, so the passes
+	// share the enumeration schedule, the scratch pools and the arenas.
+	// Created lazily because AdaptivePasses may skip all passes.
+	var gen *cuts.Generator
+	defer func() {
+		if gen == nil {
+			return
+		}
+		gs := gen.Stats()
+		stat.CutNodes = gs.Nodes
+		stat.CutCandidates = gs.Candidates
+		stat.CutLaunches = gs.Launches
+	}()
 	for _, pass := range passes {
 		if e.stopped() || e.phaseAborted {
 			break
@@ -678,11 +694,17 @@ func (e *engine) phaseL() int {
 			continue // pass was ineffective on this case last phase (§V)
 		}
 		provedBefore := stat.Proved
-		gen := cuts.NewGenerator(e.cur, e.cfg.Dev, cuts.Config{
-			K:            e.cfg.Kl,
-			C:            e.cfg.C,
-			NoSimilarity: e.cfg.DisableSimilarity,
-		})
+		if gen == nil {
+			gen = cuts.NewGenerator(e.cur, e.cfg.Dev, cuts.Config{
+				K:            e.cfg.Kl,
+				C:            e.cfg.C,
+				Budget:       e.cfg.CutBudget,
+				StrataNodes:  e.cfg.CutStrataNodes,
+				NoSimilarity: e.cfg.DisableSimilarity,
+				Reference:    e.cfg.ReferenceCuts,
+			})
+			gen.Trace = e.cfg.Trace
+		}
 
 		var pairs []sim.Pair
 		var specs []sim.Spec

@@ -1,0 +1,89 @@
+package cuts
+
+import (
+	"math/rand"
+	"testing"
+
+	"simsweep/internal/aig"
+	"simsweep/internal/ec"
+	"simsweep/internal/par"
+)
+
+// benchGraph builds a ~3000-AND random DAG with exact classes, big enough
+// that per-node costs dominate dispatch overhead.
+func benchGraph() (*aig.AIG, *ec.Manager) {
+	r := rand.New(rand.NewSource(42))
+	g := randAIG(r, 3000)
+	return g, exactClasses(g)
+}
+
+// BenchmarkCutsPass measures one full enumeration pass of the strata
+// kernel (single worker, so allocs/op and ns/op are attributable).
+func BenchmarkCutsPass(b *testing.B) {
+	g, m := benchGraph()
+	gen := NewGenerator(g, par.NewDevice(1), Config{K: 8, C: 8})
+	if err := gen.Run(PassFanout, m, func(PairCuts) {}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gen.Run(PassFanout, m, func(PairCuts) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCutsPassReference is the same pass through the retained
+// per-level reference — the before side of the allocs/op and ns/op claims.
+func BenchmarkCutsPassReference(b *testing.B) {
+	g, m := benchGraph()
+	gen := NewGenerator(g, par.NewDevice(1), Config{K: 8, C: 8, Reference: true})
+	if err := gen.Run(PassFanout, m, func(PairCuts) {}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gen.Run(PassFanout, m, func(PairCuts) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateNode measures a single node enumeration in the strata
+// kernel's steady state: warm scratch, fanin cuts pinned outside the
+// arenas so the arena can be recycled every iteration.
+func BenchmarkEnumerateNode(b *testing.B) {
+	g, m := benchGraph()
+	gen := NewGenerator(g, par.NewDevice(1), Config{K: 8, C: 8})
+	if err := gen.Run(PassFanout, m, func(PairCuts) {}); err != nil {
+		b.Fatal(err)
+	}
+	id := int(gen.order[len(gen.order)-1]) // deepest node
+	f0, f1 := g.Fanins(id)
+	pin := func(fid int) {
+		cuts := make([]Cut, len(gen.pcuts[fid]))
+		for i, c := range gen.pcuts[fid] {
+			cuts[i] = Cut{
+				Leaves:    append([]int32(nil), c.Leaves...),
+				AvgFanout: c.AvgFanout,
+				AvgLevel:  c.AvgLevel,
+				mask:      c.mask,
+			}
+		}
+		gen.pcuts[fid] = cuts
+	}
+	pin(f0.ID())
+	pin(f1.ID())
+	sc := gen.getScratch()
+	defer gen.putScratch(sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.resetRun()
+		if out := gen.enumerateNode(sc, id, PassFanout, nil); len(out) == 0 {
+			b.Fatal("no cuts enumerated")
+		}
+	}
+}

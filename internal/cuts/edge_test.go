@@ -1,0 +1,163 @@
+package cuts
+
+import (
+	"math/rand"
+	"testing"
+
+	"simsweep/internal/par"
+)
+
+// scratchWith builds a generator + scratch pair over a tiny graph and
+// feeds the given leaf sets through addCandidate, returning both.
+func scratchWith(t *testing.T, cfg Config, leafSets [][]int32) (*Generator, *scratch) {
+	t.Helper()
+	g, _, _, _ := buildSharedPair()
+	gen := NewGenerator(g, dev(), cfg)
+	sc := newScratch(gen.cfg.K, gen.maxCand)
+	sc.resetNode()
+	for _, ls := range leafSets {
+		sc.addCandidate(gen, ls, ls[:0], leafMask(ls))
+		if len(sc.cands) == 0 || !sameLeaves(sc.cands[len(sc.cands)-1].Leaves, ls) {
+			t.Fatalf("addCandidate(%v) not accepted", ls)
+		}
+	}
+	return gen, sc
+}
+
+func TestScratchFilterDominatedEmpty(t *testing.T) {
+	_, sc := scratchWith(t, Config{K: 8, C: 8}, nil)
+	if out := sc.filterDominated(sc.cands); len(out) != 0 {
+		t.Fatalf("empty candidate list filtered to %d cuts", len(out))
+	}
+	if out := filterDominated(nil); out != nil {
+		t.Fatalf("reference filterDominated(nil) = %v", out)
+	}
+}
+
+func TestScratchFilterDominatedAllDominated(t *testing.T) {
+	// One minimal cut dominates every other candidate; only it survives.
+	sets := [][]int32{{1, 2, 3}, {1, 2, 5}, {1}, {1, 3}, {1, 2}}
+	_, sc := scratchWith(t, Config{K: 8, C: 8}, sets)
+	out := sc.filterDominated(sc.cands)
+	if len(out) != 1 || !sameLeaves(out[0].Leaves, []int32{1}) {
+		t.Fatalf("want only the dominator {1}, got %d cuts %v", len(out), out)
+	}
+}
+
+func TestScratchFilterDominatedMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var sets [][]int32
+		used := map[uint64]bool{}
+		for len(sets) < 2+r.Intn(12) {
+			var ls []int32
+			for v := int32(1); v <= 6; v++ {
+				if r.Intn(3) == 0 {
+					ls = append(ls, v)
+				}
+			}
+			if len(ls) == 0 || used[hashLeaves(ls)] {
+				continue
+			}
+			used[hashLeaves(ls)] = true
+			sets = append(sets, ls)
+		}
+		_, sc := scratchWith(t, Config{K: 8, C: 8}, sets)
+		refIn := append([]Cut(nil), sc.cands...)
+		want := filterDominated(refIn)
+		got := sc.filterDominated(sc.cands)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: %d survivors vs reference %d (sets %v)", trial, len(got), len(want), sets)
+		}
+		for i := range want {
+			if !sameLeaves(want[i].Leaves, got[i].Leaves) {
+				t.Fatalf("trial %d survivor %d: %v vs reference %v", trial, i, got[i].Leaves, want[i].Leaves)
+			}
+		}
+	}
+}
+
+func TestSimilarityEmpty(t *testing.T) {
+	if s := Similarity(nil, nil); s != 0 {
+		t.Fatalf("Similarity(nil, nil) = %g", s)
+	}
+	if s := Similarity([]int32{1, 2}, nil); s != 0 {
+		t.Fatalf("Similarity(c, empty P) = %g", s)
+	}
+	if s := Similarity(nil, []Cut{{Leaves: []int32{1}}}); s != 0 {
+		t.Fatalf("Similarity(empty c, P) = %g", s)
+	}
+}
+
+// TestRunK2 exercises the minimum cut size: every emitted cut must have at
+// most two leaves and the strata kernel must still match the reference
+// (covered separately); here we check the K floor holds end to end.
+func TestRunK2(t *testing.T) {
+	g, _, _, m := buildSharedPair()
+	gen := NewGenerator(g, dev(), Config{K: 2, C: 4})
+	emitted := 0
+	err := gen.Run(PassFanout, m, func(pc PairCuts) {
+		for _, c := range pc.Cuts {
+			if len(c.Leaves) > 2 {
+				t.Fatalf("K=2 emitted a %d-leaf cut %v", len(c.Leaves), c.Leaves)
+			}
+		}
+		emitted++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		for _, c := range gen.PriorityCuts(id) {
+			if len(c.Leaves) > 2 {
+				t.Fatalf("K=2 kept a %d-leaf priority cut on node %d", len(c.Leaves), id)
+			}
+		}
+	}
+}
+
+// TestUnionInto covers the budget-buffer union: overflow, duplicates,
+// disjoint tails, and the folded-in dedup signature.
+func TestUnionInto(t *testing.T) {
+	dst := make([]int32, 4)
+	if n, h, ok := unionInto(dst, []int32{1, 3}, []int32{2, 3, 7}, 4); !ok || n != 4 {
+		t.Fatalf("union = %v n=%d ok=%v", dst[:n], n, ok)
+	} else if !sameLeaves(dst[:n], []int32{1, 2, 3, 7}) {
+		t.Fatalf("union = %v", dst[:n])
+	} else if want := hashLeaves(dst[:n]); h != want {
+		t.Fatalf("folded hash = %#x, hashLeaves = %#x", h, want)
+	}
+	if _, _, ok := unionInto(dst, []int32{1, 2, 3}, []int32{4, 5}, 4); ok {
+		t.Fatal("overflowing union not rejected")
+	}
+	if n, h, ok := unionInto(dst, []int32{5}, nil, 4); !ok || n != 1 || dst[0] != 5 || h != hashLeaves(dst[:1]) {
+		t.Fatalf("identity union = %v n=%d ok=%v", dst[:n], n, ok)
+	}
+	if n, h, ok := unionInto(dst, nil, nil, 4); !ok || n != 0 || h != hashLeaves(nil) {
+		t.Fatalf("empty union n=%d ok=%v", n, ok)
+	}
+}
+
+// TestBudgetCapsCandidates checks the priority budget end to end: with
+// Budget=1 every node keeps exactly one cut (the first candidate is the
+// only one enumerated).
+func TestBudgetCapsCandidates(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randAIG(r, 100)
+	m := exactClasses(g)
+	gen := NewGenerator(g, par.NewDevice(2), Config{K: 8, C: 8, Budget: 1})
+	if err := gen.Run(PassFanout, m, func(PairCuts) {}); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		if n := len(gen.PriorityCuts(id)); n > 1 {
+			t.Fatalf("Budget=1 kept %d cuts on node %d", n, id)
+		}
+	}
+	if st := gen.Stats(); st.Candidates > int64(g.NumAnds()*2) {
+		t.Fatalf("Budget=1 generated %d candidates over %d nodes", st.Candidates, g.NumAnds())
+	}
+}

@@ -1,0 +1,410 @@
+package cuts
+
+// scratch is the per-worker workspace of the enumeration kernel. One
+// scratch is borrowed per executed chunk, so the per-node inner loop runs
+// allocation-free: candidate leaves live in a fixed buffer sized for the
+// candidate budget, dedup goes through an open-addressed signature table
+// reset by generation stamp, and the accepted cuts are copied into arenas
+// whose blocks are recycled at Run boundaries.
+type scratch struct {
+	table sigTable
+	cands []Cut  // candidates of the node being enumerated
+	keep  []bool // dominance verdicts, computed before compaction
+	sims  []float32
+	order []int32
+	triv  [2]int32 // trivial-cut leaves of the current node's fanins
+
+	leaves []int32 // fixed backing store for candidate leaves
+	end    int     // used prefix of leaves
+
+	bySize [][]int32 // candidate indices bucketed by cut size
+
+	arena arena[int32] // accepted cut leaves, valid until the next Run
+	cuts  arena[Cut]   // accepted cut slices, valid until the next Run
+
+	// Exact similarity index: the distinct leaves of the steering target's
+	// priority cuts get dense bit positions (at most 64), so each Jaccard
+	// term is two popcounts instead of a sorted merge. simKey/simBit form a
+	// stamped open-addressed id→bit map; pm holds the steering cuts' exact
+	// bitmaps.
+	simKey   []int32
+	simBit   []int8
+	simStamp []uint32
+	simGen   uint32
+	pm       []uint64
+
+	nCands int64 // work counters, folded into Generator.Stats per Run
+	nKept  int64
+}
+
+// newScratch sizes a workspace for cuts of at most k leaves and maxCand
+// candidates per node.
+func newScratch(k, maxCand int) *scratch {
+	sc := &scratch{
+		cands:    make([]Cut, 0, maxCand),
+		keep:     make([]bool, maxCand),
+		sims:     make([]float32, maxCand),
+		order:    make([]int32, 0, maxCand),
+		leaves:   make([]int32, (maxCand+1)*k),
+		bySize:   make([][]int32, k+1),
+		simKey:   make([]int32, simTabSize),
+		simBit:   make([]int8, simTabSize),
+		simStamp: make([]uint32, simTabSize),
+		simGen:   1,
+	}
+	sc.table.init(maxCand)
+	return sc
+}
+
+// simTabSize is the slot count of the id→bit similarity map: 64 live
+// entries at ≤¼ load, power of two for mask probing.
+const simTabSize = 256
+
+// buildSimIndex assigns dense bit positions to the distinct leaves of the
+// steering cuts P and fills sc.pm with their exact bitmaps. Returns false
+// when P has more than 64 distinct leaves (impossible under the default
+// K=8, C=8 — the caller then falls back to merge-based similarity).
+func (sc *scratch) buildSimIndex(P []Cut) bool {
+	sc.simGen++
+	if sc.simGen == 0 { // stamp wraparound: clear once per 2³² builds
+		clear(sc.simStamp)
+		sc.simGen = 1
+	}
+	if len(P) > len(sc.pm) {
+		sc.pm = make([]uint64, len(P))
+	}
+	nbits := 0
+	for i := range P {
+		var m uint64
+		for _, id := range P[i].Leaves {
+			slot := uint32(id) * 0x9E3779B9 >> 24 & (simTabSize - 1)
+			for {
+				if sc.simStamp[slot] != sc.simGen {
+					if nbits == 64 {
+						return false
+					}
+					sc.simStamp[slot] = sc.simGen
+					sc.simKey[slot] = id
+					sc.simBit[slot] = int8(nbits)
+					m |= 1 << nbits
+					nbits++
+					break
+				}
+				if sc.simKey[slot] == id {
+					m |= 1 << uint(sc.simBit[slot])
+					break
+				}
+				slot = (slot + 1) & (simTabSize - 1)
+			}
+		}
+		sc.pm[i] = m
+	}
+	return true
+}
+
+// projectSim maps a candidate's leaves onto the similarity index bits;
+// leaves outside the index cannot intersect any steering cut.
+func (sc *scratch) projectSim(leaves []int32) uint64 {
+	var proj uint64
+	for _, id := range leaves {
+		slot := uint32(id) * 0x9E3779B9 >> 24 & (simTabSize - 1)
+		for sc.simStamp[slot] == sc.simGen {
+			if sc.simKey[slot] == id {
+				proj |= 1 << uint(sc.simBit[slot])
+				break
+			}
+			slot = (slot + 1) & (simTabSize - 1)
+		}
+	}
+	return proj
+}
+
+// resetNode prepares the workspace for the next node.
+func (sc *scratch) resetNode() {
+	sc.cands = sc.cands[:0]
+	sc.end = 0
+	sc.table.reset()
+}
+
+// resetRun recycles the arena blocks; the cuts handed out since the last
+// reset become invalid.
+func (sc *scratch) resetRun() {
+	sc.arena.reset()
+	sc.cuts.reset()
+}
+
+// addCandidate unions two sorted leaf sets into the candidate buffer and
+// accepts the result unless it exceeds K leaves or duplicates an earlier
+// candidate. m is the OR of the two sets' leaf masks — exactly the union's
+// mask, since the mask of a set union is the union of the masks. Selection
+// metrics are NOT filled in here: dominance filtering needs only leaves
+// and masks, so the metric pass (fillMetrics) runs on the survivors.
+func (sc *scratch) addCandidate(gen *Generator, a, b []int32, m uint64) {
+	k := gen.cfg.K
+	dst := sc.leaves[sc.end : sc.end+k]
+	n, h, ok := unionInto(dst, a, b, k)
+	if !ok {
+		return
+	}
+	leaves := dst[:n:n]
+	if !sc.table.insert(h, leaves, sc.cands) {
+		return
+	}
+	sc.cands = append(sc.cands, Cut{Leaves: leaves, mask: m})
+	sc.end += n
+}
+
+// filterDominated drops candidates that are proper supersets of another
+// candidate, preserving order. Candidates are bucketed by size so each one
+// is only tested against strictly smaller cuts, and the leaf bloom masks
+// reject most subset tests in one AND. Verdicts are computed against the
+// full candidate list before compacting, which is exactly the reference
+// predicate: dominated-by-a-dominated cut is still dominated by that cut's
+// own dominator.
+func (sc *scratch) filterDominated(cands []Cut) []Cut {
+	if len(cands) <= 1 {
+		return cands
+	}
+	minSize, maxSize := len(cands[0].Leaves), len(cands[0].Leaves)
+	for i := 1; i < len(cands); i++ {
+		sz := len(cands[i].Leaves)
+		if sz < minSize {
+			minSize = sz
+		}
+		if sz > maxSize {
+			maxSize = sz
+		}
+	}
+	if minSize == maxSize {
+		// Equal-sized cuts cannot strictly dominate one another.
+		return cands
+	}
+	for s := range sc.bySize {
+		sc.bySize[s] = sc.bySize[s][:0]
+	}
+	for i := range cands {
+		sc.bySize[len(cands[i].Leaves)] = append(sc.bySize[len(cands[i].Leaves)], int32(i))
+	}
+	keep := sc.keep[:len(cands)]
+	kept := 0
+	for i := range cands {
+		li := cands[i].Leaves
+		mi := cands[i].mask
+		dominated := false
+	search:
+		for s := minSize; s < len(li); s++ {
+			for _, j := range sc.bySize[s] {
+				if cands[j].mask&^mi != 0 {
+					continue // a leaf bit outside li: cannot be a subset
+				}
+				if isSubset(cands[j].Leaves, li) {
+					dominated = true
+					break search
+				}
+			}
+		}
+		keep[i] = !dominated
+		if !dominated {
+			kept++
+		}
+	}
+	if kept == len(cands) {
+		return cands
+	}
+	out := cands[:0]
+	for i := range cands {
+		if keep[i] {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}
+
+// unionInto merges two sorted leaf sets into dst (len(dst) >= max) and
+// returns the union size, or ok=false when the union exceeds max leaves.
+// When the inputs together fit the cap the merge cannot overflow, so the
+// common case runs without per-element limit checks. The dedup signature
+// (hashLeaves of the emitted sequence) is folded into the merge so the
+// leaves are traversed once, not twice; emission order is sorted order, so
+// the incremental FNV equals hashLeaves(dst[:n]) exactly.
+func unionInto(dst, a, b []int32, max int) (n int, h uint64, ok bool) {
+	i, j := 0, 0
+	h = 0xCBF29CE484222325
+	if len(a)+len(b) <= max {
+		for i < len(a) && j < len(b) {
+			var x int32
+			switch {
+			case a[i] < b[j]:
+				x = a[i]
+				i++
+			case a[i] > b[j]:
+				x = b[j]
+				j++
+			default:
+				x = a[i]
+				i++
+				j++
+			}
+			dst[n] = x
+			h ^= uint64(uint32(x))
+			h *= 0x100000001B3
+			n++
+		}
+		for ; i < len(a); i++ {
+			x := a[i]
+			dst[n] = x
+			h ^= uint64(uint32(x))
+			h *= 0x100000001B3
+			n++
+		}
+		for ; j < len(b); j++ {
+			x := b[j]
+			dst[n] = x
+			h ^= uint64(uint32(x))
+			h *= 0x100000001B3
+			n++
+		}
+		return n, h, true
+	}
+	for i < len(a) && j < len(b) {
+		if n == max {
+			return 0, 0, false
+		}
+		var x int32
+		switch {
+		case a[i] < b[j]:
+			x = a[i]
+			i++
+		case a[i] > b[j]:
+			x = b[j]
+			j++
+		default:
+			x = a[i]
+			i++
+			j++
+		}
+		dst[n] = x
+		h ^= uint64(uint32(x))
+		h *= 0x100000001B3
+		n++
+	}
+	if n+(len(a)-i)+(len(b)-j) > max {
+		return 0, 0, false
+	}
+	for ; i < len(a); i++ {
+		x := a[i]
+		dst[n] = x
+		h ^= uint64(uint32(x))
+		h *= 0x100000001B3
+		n++
+	}
+	for ; j < len(b); j++ {
+		x := b[j]
+		dst[n] = x
+		h ^= uint64(uint32(x))
+		h *= 0x100000001B3
+		n++
+	}
+	return n, h, true
+}
+
+// leafMask folds a leaf set into its 64-bit membership bloom.
+func leafMask(leaves []int32) uint64 {
+	var m uint64
+	for _, id := range leaves {
+		m |= 1 << (uint32(id) & 63)
+	}
+	return m
+}
+
+// sigTable is an open-addressed hash set over candidate cut signatures,
+// replacing the per-node map[uint64][]int of the reference. Slots hold the
+// full hash plus the candidate index for collision resolution; reset is one
+// generation-stamp bump, so the table is reused across every node a worker
+// enumerates without clearing.
+type sigTable struct {
+	mask  uint64
+	hash  []uint64
+	idx   []int32
+	stamp []uint32
+	gen   uint32
+}
+
+// init sizes the table for capHint live entries at ≤¼ load, so probe
+// chains stay short and insertion never needs to grow or wrap around a
+// full table.
+func (t *sigTable) init(capHint int) {
+	size := 16
+	for size < 4*capHint {
+		size <<= 1
+	}
+	t.mask = uint64(size - 1)
+	t.hash = make([]uint64, size)
+	t.idx = make([]int32, size)
+	t.stamp = make([]uint32, size)
+	t.gen = 1
+}
+
+// reset invalidates every entry by bumping the generation stamp.
+func (t *sigTable) reset() {
+	t.gen++
+	if t.gen == 0 { // stamp wraparound: clear once per 2³² resets
+		clear(t.stamp)
+		t.gen = 1
+	}
+}
+
+// insert records leaves (hashing once — the hash h is computed by the
+// caller) and returns false when an equal candidate is already present.
+// cands is the live candidate list the stored indices point into.
+func (t *sigTable) insert(h uint64, leaves []int32, cands []Cut) bool {
+	for slot := h & t.mask; ; slot = (slot + 1) & t.mask {
+		if t.stamp[slot] != t.gen {
+			t.stamp[slot] = t.gen
+			t.hash[slot] = h
+			t.idx[slot] = int32(len(cands))
+			return true
+		}
+		if t.hash[slot] == h && sameLeaves(cands[t.idx[slot]].Leaves, leaves) {
+			return false
+		}
+	}
+}
+
+// arena hands out slices carved from large reusable blocks. reset recycles
+// every block without freeing, so steady-state allocation is zero; anything
+// handed out before a reset must no longer be read afterwards.
+type arena[T any] struct {
+	blocks [][]T
+	bi     int // block currently being filled
+	off    int // used prefix of blocks[bi]
+}
+
+// arenaBlock is the element count of one arena block.
+const arenaBlock = 1 << 13
+
+// alloc returns a slice of n elements with capacity exactly n.
+func (a *arena[T]) alloc(n int) []T {
+	for {
+		if a.bi == len(a.blocks) {
+			sz := arenaBlock
+			if n > sz {
+				sz = n
+			}
+			a.blocks = append(a.blocks, make([]T, sz))
+			a.off = 0
+		}
+		if b := a.blocks[a.bi]; a.off+n <= len(b) {
+			s := b[a.off : a.off+n : a.off+n]
+			a.off += n
+			return s
+		}
+		a.bi++
+		a.off = 0
+	}
+}
+
+// reset makes every block reusable from the start.
+func (a *arena[T]) reset() {
+	a.bi, a.off = 0, 0
+}

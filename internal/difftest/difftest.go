@@ -162,6 +162,18 @@ func tightConfig() *core.Config {
 	}
 }
 
+// tinyCutsConfig starves the cut generator: small cuts (K=4), only two
+// priority cuts per node and a candidate budget of three force the strata
+// kernel through its budget-pruning and tiny-capacity paths, where
+// selection-order and dedup bugs would change which pairs get checked.
+func tinyCutsConfig() *core.Config {
+	c := core.DefaultConfig()
+	c.Kl = 4
+	c.C = 2
+	c.CutBudget = 3
+	return &c
+}
+
 // extConfig enables every §V extension at once: distance-1 CEX patterns,
 // guided patterns, adaptive passes and rewrite interleaving.
 func extConfig() *core.Config {
@@ -174,9 +186,10 @@ func extConfig() *core.Config {
 }
 
 // DefaultBackends returns the full differential roster: the brute-force
-// truth-table oracle (≤16 PIs), the simulation engine under three
-// configurations (paper defaults, a starved windowing configuration and
-// the all-extensions configuration), the hybrid flow, standalone SAT
+// truth-table oracle (≤16 PIs), the simulation engine under four
+// configurations (paper defaults, a starved windowing configuration, the
+// all-extensions configuration and a starved cut-enumeration
+// configuration), the hybrid flow, standalone SAT
 // sweeping with unlimited conflicts, the BDD engine and the portfolio.
 // The oracle, hybrid, SAT, BDD and portfolio backends are complete on the
 // small circuits the harness generates; the sim-only backends may return
@@ -216,6 +229,7 @@ func DefaultBackendsWithFaults(workers int, seed int64, spec string) ([]Backend,
 		facadeBackend("sim", false, workers, seed, nil, simsweep.EngineSim, spec),
 		facadeBackend("sim-tight", false, workers, seed, tightConfig(), simsweep.EngineSim, spec),
 		facadeBackend("sim-ext", false, workers, seed, extConfig(), simsweep.EngineSim, spec),
+		facadeBackend("sim-tiny-cuts", false, workers, seed, tinyCutsConfig(), simsweep.EngineSim, spec),
 		facadeBackend("hybrid", true, workers, seed, nil, simsweep.EngineHybrid, spec),
 		facadeBackend("sat", true, workers, seed, nil, simsweep.EngineSAT, spec),
 		facadeBackend("bdd", true, workers, seed, nil, simsweep.EngineBDD, spec),

@@ -178,7 +178,7 @@ func (d *Device) Close() {
 // the launch are then suspect and must be discarded by the caller.
 func (d *Device) Launch(name string, n int, fn func(i int)) error {
 	start := time.Now()
-	err := d.parallelRange(name, n, func(lo, hi int) {
+	err := d.parallelRange(name, n, func(_ *Flight, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}
@@ -193,9 +193,71 @@ func (d *Device) Launch(name string, n int, fn func(i int)) error {
 // follows the Launch contract.
 func (d *Device) LaunchChunked(name string, n int, fn func(lo, hi int)) error {
 	start := time.Now()
+	err := d.parallelRange(name, n, func(_ *Flight, lo, hi int) { fn(lo, hi) })
+	d.record(name, n, time.Since(start), err != nil)
+	return err
+}
+
+// LaunchWave is LaunchChunked for wavefront kernels: bodies whose indices
+// carry dependencies on lower indices of the same launch and therefore
+// synchronise across chunks (spinning on per-item done flags). Two launch
+// properties make such waits safe. First, chunks are claimed in ascending
+// index order, so when the flat index space is topologically sorted the
+// goroutine holding the lowest in-flight chunk never has anything to wait
+// for, and the launch always makes progress. Second, once any chunk panics
+// the remaining chunks are drained without executing — the items they would
+// have completed never complete — so every spin loop must poll
+// Flight.Failed and bail out when it reports true, or the launch would
+// deadlock exactly when a sibling chunk failed. Panic recovery and the
+// KernelPanicError contract otherwise follow Launch.
+func (d *Device) LaunchWave(name string, n int, fn func(fl *Flight, lo, hi int)) error {
+	start := time.Now()
 	err := d.parallelRange(name, n, fn)
 	d.record(name, n, time.Since(start), err != nil)
 	return err
+}
+
+// Flight identifies one kernel launch in flight; LaunchWave passes it to
+// every chunk of the body. It exists so cross-chunk spin waits can observe a
+// sibling chunk's failure instead of waiting forever on work a drained chunk
+// will never produce.
+type Flight struct {
+	t *task
+}
+
+// Failed reports whether any chunk of this launch has panicked (after which
+// the remaining chunks are drained without executing). A kernel body that
+// waits on work from other chunks must poll Failed inside the wait loop and
+// abandon the chunk when it returns true; the launch then synchronises and
+// returns the recovered *KernelPanicError. Failed on a nil Flight (a
+// serial, single-chunk launch, where no sibling chunks exist) reports false.
+func (fl *Flight) Failed() bool {
+	return fl != nil && fl.t.err.Load() != nil
+}
+
+// Strata groups a leveled index space into launch batches: sizes[i] is the
+// item count of level i, and consecutive levels are fused into one batch
+// until it holds at least minBatch items (the final batch may be smaller).
+// The returned [lo, hi) ranges partition the flat level-ordered item space,
+// in order. Batching levels trades one kernel launch per level for one per
+// stratum — a wavefront body resolves the intra-stratum dependencies — and
+// the launch's own chunking slices oversized levels along the item
+// dimension as usual. minBatch <= 1 keeps every non-empty level separate,
+// reproducing per-level dispatch.
+func Strata(sizes []int, minBatch int) [][2]int {
+	var out [][2]int
+	lo, n := 0, 0
+	for _, s := range sizes {
+		n += s
+		if n-lo >= minBatch && n > lo {
+			out = append(out, [2]int{lo, n})
+			lo = n
+		}
+	}
+	if n > lo {
+		out = append(out, [2]int{lo, n})
+	}
+	return out
 }
 
 func (d *Device) record(name string, n int, dt time.Duration, panicked bool) {
@@ -223,14 +285,14 @@ func (d *Device) record(name string, n int, dt time.Duration, panicked bool) {
 // is capped at the number of chunks actually available, so a tiny index
 // space on a wide device neither degrades to per-index atomic traffic nor
 // wakes workers that would find nothing to do.
-func (d *Device) parallelRange(name string, n int, fn func(lo, hi int)) error {
+func (d *Device) parallelRange(name string, n int, fn func(fl *Flight, lo, hi int)) error {
 	if n <= 0 {
 		return nil
 	}
 	w := d.workers
 	flt := d.faults.Load()
 	if w <= 1 || n == 1 || d.pool == nil {
-		return errOrNil(execGuarded(name, flt, 0, n, fn))
+		return errOrNil(execGuarded(name, flt, nil, 0, n, fn))
 	}
 	const chunksPerWorker = 4
 	chunk := n / (w * chunksPerWorker)
@@ -239,9 +301,10 @@ func (d *Device) parallelRange(name string, n int, fn func(lo, hi int)) error {
 	}
 	nchunks := (n + chunk - 1) / chunk
 	if nchunks <= 1 {
-		return errOrNil(execGuarded(name, flt, 0, n, fn))
+		return errOrNil(execGuarded(name, flt, nil, 0, n, fn))
 	}
 	t := &task{fn: fn, name: name, faults: flt, n: int64(n), chunk: int64(chunk), remaining: int64(n), done: make(chan struct{})}
+	t.fl = &Flight{t: t}
 	if tr := d.tracer.Load(); tr.Enabled() {
 		t.tr = tr
 	}
@@ -266,22 +329,24 @@ func errOrNil(e *KernelPanicError) error {
 
 // execGuarded runs one chunk of a kernel body under panic recovery,
 // consulting the par.worker.panic fault hook first. It returns the recovered
-// panic as a *KernelPanicError, or nil when the chunk completed.
-func execGuarded(name string, flt *fault.Injector, lo, hi int, fn func(lo, hi int)) (err *KernelPanicError) {
+// panic as a *KernelPanicError, or nil when the chunk completed. fl is nil
+// on serial single-chunk launches.
+func execGuarded(name string, flt *fault.Injector, fl *Flight, lo, hi int, fn func(fl *Flight, lo, hi int)) (err *KernelPanicError) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &KernelPanicError{Kernel: name, Value: r, Stack: debug.Stack()}
 		}
 	}()
 	flt.Panic(fault.HookWorkerPanic)
-	fn(lo, hi)
+	fn(fl, lo, hi)
 	return nil
 }
 
 // task is one kernel launch in flight: a flat index space carved into
 // chunks that are claimed lock-free through the next ticket.
 type task struct {
-	fn        func(lo, hi int)
+	fn        func(fl *Flight, lo, hi int)
+	fl        *Flight // the launch handle handed to every parallel chunk
 	name      string
 	n         int64
 	chunk     int64
@@ -338,7 +403,7 @@ func (t *task) runChunks(p *pool) int64 {
 			hi = t.n
 		}
 		if t.err.Load() == nil {
-			if err := execGuarded(t.name, t.faults, int(lo), int(hi), t.fn); err != nil {
+			if err := execGuarded(t.name, t.faults, t.fl, int(lo), int(hi), t.fn); err != nil {
 				t.err.CompareAndSwap(nil, err)
 			}
 		}

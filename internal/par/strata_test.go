@@ -1,0 +1,135 @@
+package par
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simsweep/internal/fault"
+)
+
+func TestStrataBatching(t *testing.T) {
+	cases := []struct {
+		sizes    []int
+		minBatch int
+		want     [][2]int
+	}{
+		{nil, 5, nil},
+		{[]int{0, 0}, 1, nil},
+		{[]int{3, 2, 4, 1}, 5, [][2]int{{0, 5}, {5, 10}}},
+		{[]int{3, 2, 4, 1}, 1, [][2]int{{0, 3}, {3, 5}, {5, 9}, {9, 10}}},
+		{[]int{0, 3, 0, 2}, 1, [][2]int{{0, 3}, {3, 5}}},
+		{[]int{3, 2, 4, 1}, 100, [][2]int{{0, 10}}},
+		{[]int{7}, 3, [][2]int{{0, 7}}},
+		{[]int{1, 1, 1}, 0, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+	}
+	for _, c := range cases {
+		got := Strata(c.sizes, c.minBatch)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Strata(%v, %d) = %v, want %v", c.sizes, c.minBatch, got, c.want)
+		}
+	}
+	// Every result must partition the flat space in order.
+	sizes := []int{5, 0, 17, 3, 1, 0, 9}
+	total := 35
+	for _, minBatch := range []int{1, 2, 7, 100} {
+		prev := 0
+		for _, b := range Strata(sizes, minBatch) {
+			if b[0] != prev || b[1] <= b[0] {
+				t.Fatalf("minBatch=%d: non-contiguous batch %v after %d", minBatch, b, prev)
+			}
+			prev = b[1]
+		}
+		if prev != total {
+			t.Fatalf("minBatch=%d: batches cover %d of %d items", minBatch, prev, total)
+		}
+	}
+}
+
+// TestLaunchWaveChainDependency runs the worst-case wavefront: a serial
+// dependency chain across every chunk of the launch. Ascending chunk
+// claiming must keep it deadlock-free on a multi-worker device.
+func TestLaunchWaveChainDependency(t *testing.T) {
+	d := NewDevice(8)
+	defer d.Close()
+	const n = 20000
+	done := make([]uint32, n)
+	var executed int64
+	err := d.LaunchWave("test.wave", n, func(fl *Flight, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i > 0 {
+				for atomic.LoadUint32(&done[i-1]) == 0 {
+					if fl.Failed() {
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+			atomic.AddInt64(&executed, 1)
+			atomic.StoreUint32(&done[i], 1)
+		}
+	})
+	if err != nil {
+		t.Fatalf("LaunchWave: %v", err)
+	}
+	if executed != n {
+		t.Fatalf("executed %d of %d items", executed, n)
+	}
+}
+
+// TestLaunchWaveFailedUnblocksWaiters injects a chunk panic into a chained
+// wavefront: chunks spinning on work the drained chunks will never publish
+// must observe Flight.Failed and bail, so the launch returns the panic
+// instead of deadlocking.
+func TestLaunchWaveFailedUnblocksWaiters(t *testing.T) {
+	d := NewDevice(8)
+	defer d.Close()
+	d.SetFaults(fault.MustParse("par.worker.panic:at=3", 1))
+	const n = 20000
+	done := make([]uint32, n)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- d.LaunchWave("test.wave.fail", n, func(fl *Flight, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i > 0 {
+					for atomic.LoadUint32(&done[i-1]) == 0 {
+						if fl.Failed() {
+							return
+						}
+						runtime.Gosched()
+					}
+				}
+				atomic.StoreUint32(&done[i], 1)
+			}
+		})
+	}()
+	select {
+	case err := <-errc:
+		var kp *KernelPanicError
+		if !errors.As(err, &kp) {
+			t.Fatalf("LaunchWave returned %v, want KernelPanicError", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("LaunchWave deadlocked after injected chunk panic")
+	}
+}
+
+// TestFlightFailedNil covers the serial path: single-chunk launches pass a
+// nil Flight whose Failed must report false.
+func TestFlightFailedNil(t *testing.T) {
+	d := NewDevice(1)
+	defer d.Close()
+	saw := false
+	err := d.LaunchWave("test.wave.serial", 100, func(fl *Flight, lo, hi int) {
+		saw = true
+		if fl.Failed() {
+			t.Error("nil Flight reported Failed")
+		}
+	})
+	if err != nil || !saw {
+		t.Fatalf("serial LaunchWave err=%v saw=%v", err, saw)
+	}
+}

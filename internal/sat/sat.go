@@ -97,7 +97,8 @@ type Solver struct {
 	claInc   float64
 	maxLrnts int
 
-	conflictLimit int64 // per Solve call; 0 means unlimited
+	conflictLimit int64       // per Solve call; 0 means unlimited
+	stop          func() bool // cancellation probe, polled every 256 conflicts
 	stats         Stats
 }
 
@@ -111,6 +112,13 @@ func New() *Solver {
 // SetConflictLimit bounds the conflicts of each subsequent Solve call;
 // n <= 0 removes the bound. When the bound is hit Solve returns Unknown.
 func (s *Solver) SetConflictLimit(n int64) { s.conflictLimit = n }
+
+// SetStop installs a cancellation probe polled once per 256 conflicts;
+// when it reports true, Solve abandons the call and returns Unknown, so
+// an unbounded solve stays cooperatively cancellable between conflicts
+// (a conflict-free solve terminates on its own: every decision assigns a
+// variable). nil removes the probe.
+func (s *Solver) SetStop(f func() bool) { s.stop = f }
 
 // Stats returns the accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -500,6 +508,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.varInc /= 0.95
 			s.claInc /= 0.999
 			if s.conflictLimit > 0 && s.stats.Conflicts-startConfl >= s.conflictLimit {
+				s.backtrackTo(0)
+				return Unknown
+			}
+			if s.stop != nil && (s.stats.Conflicts-startConfl)&0xFF == 0 && s.stop() {
 				s.backtrackTo(0)
 				return Unknown
 			}

@@ -146,10 +146,11 @@ func TestAssumptions(t *testing.T) {
 	}
 }
 
-func TestConflictLimit(t *testing.T) {
-	// A hard pigeonhole instance with a tiny budget returns Unknown.
+// addPigeonhole loads the UNSAT PHP(n+1, n) instance into a fresh solver;
+// it needs real conflict analysis to refute, so it exercises budgets and
+// cancellation.
+func addPigeonhole(n int) *Solver {
 	s := New()
-	n := 8
 	vars := make([][]int, n+1)
 	for p := range vars {
 		vars[p] = make([]int, n)
@@ -171,6 +172,12 @@ func TestConflictLimit(t *testing.T) {
 			}
 		}
 	}
+	return s
+}
+
+func TestConflictLimit(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget returns Unknown.
+	s := addPigeonhole(8)
 	s.SetConflictLimit(10)
 	if st := s.Solve(); st != Unknown {
 		t.Fatalf("budgeted PHP = %v, want Unknown", st)
@@ -178,6 +185,29 @@ func TestConflictLimit(t *testing.T) {
 	s.SetConflictLimit(0)
 	if st := s.Solve(); st != Unsat {
 		t.Fatalf("unbudgeted PHP = %v, want Unsat", st)
+	}
+
+}
+
+func TestSetStopCancelsUnboundedSolve(t *testing.T) {
+	// The stop probe cancels an unbounded solve on a fresh instance: it
+	// fires every 256 conflicts, so the cancelled call consumes barely
+	// more than that, and clearing the probe restores completeness.
+	s := addPigeonhole(8)
+	probed := 0
+	s.SetStop(func() bool { probed++; return true })
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("stopped PHP = %v, want Unknown", st)
+	}
+	if probed == 0 {
+		t.Fatal("stop probe never polled")
+	}
+	if got := s.Stats().Conflicts; got > 512 {
+		t.Fatalf("cancelled solve burned %d conflicts, want <=512", got)
+	}
+	s.SetStop(nil)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("probe-cleared PHP = %v, want Unsat", st)
 	}
 }
 

@@ -216,6 +216,7 @@ func checkMiter(m *aig.AIG, opt Options) Result {
 func sweepRound(cur *aig.AIG, classes *ec.Manager, partial *sim.Partial, opt Options, stats *Stats) ([]miter.Merge, bool) {
 	solver := sat.New()
 	solver.SetConflictLimit(opt.ConflictLimit)
+	solver.SetStop(opt.stopped)
 	enc := cnf.NewEncoder(cur, solver)
 	piIndex := piIndexOf(cur)
 	tb := opt.traceBuf()
@@ -266,6 +267,7 @@ func sweepRound(cur *aig.AIG, classes *ec.Manager, partial *sim.Partial, opt Opt
 func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 	solver := sat.New()
 	solver.SetConflictLimit(opt.ConflictLimit)
+	solver.SetStop(opt.stopped)
 	enc := cnf.NewEncoder(cur, solver)
 	piIndex := piIndexOf(cur)
 	tb := opt.traceBuf()
@@ -319,6 +321,12 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 	res.Reduced = cur
 	if !undecided && miter.IsProved(cur) {
 		res.Outcome = Equivalent
+	}
+	// An Unknown may be a cancelled solve rather than a budget miss: a
+	// stop can land inside the final PO's solve, after the last loop-top
+	// check.
+	if undecided && opt.stopped() {
+		res.Stopped = true
 	}
 	return res
 }

@@ -23,6 +23,11 @@ const (
 	CatKernel = "kernel"
 	// CatSAT is the category of the SAT sweeping backend's solver spans.
 	CatSAT = "sat"
+	// CatCuts is the category of the cut generator's per-pass spans (args:
+	// pass, nodes, strata, pairs). Phase spans have no argument capacity
+	// left for cut-enumeration stats, so the generator records its own
+	// control-track span per pass instead.
+	CatCuts = "cuts"
 )
 
 // PhaseRow is one reconstructed row of the Figure 6 table.
