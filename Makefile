@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test doccheck race service-race trace-race bench benchtab bench-service fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault bench-cuts
+.PHONY: all build test doccheck race service-race trace-race cluster-race bench benchtab bench-service bench-cluster fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault bench-cuts
 
-all: build doccheck test fuzz chaos bench-cuts
+all: build doccheck test fuzz chaos cluster-race bench-cuts
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ race:
 # result cache and the HTTP daemon's end-to-end test.
 service-race:
 	$(GO) test -race ./internal/service/... ./cmd/cecd/...
+
+# Race-detector pass over the cluster layer: the consistent-hash ring, the
+# coordinator's dispatch/steal/requeue machinery, verdict federation, the
+# SIGKILL recovery test and the rig-backed differential sweep that crashes
+# workers mid-check.
+cluster-race:
+	$(GO) test -race ./internal/cluster/...
+	$(GO) test -race -run 'TestClusterRig' ./internal/difftest/
 
 # Race-detector pass over the tracing path: the recorder itself plus a
 # traced end-to-end job through the daemon (per-worker kernel spans,
@@ -92,6 +100,13 @@ bench-cuts:
 # throughput + cache hit rate to BENCH_service.json.
 bench-service:
 	$(GO) run ./cmd/benchtab -service
+
+# Drive the full job workload through a coordinator fronting three real
+# worker processes (spawned via re-exec), cross-check every verdict against
+# a single-node replay, SIGKILL a worker mid-flight, and write aggregate
+# throughput + scaling vs BENCH_service.json to BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/benchtab -cluster
 
 benchtab:
 	$(GO) run ./cmd/benchtab -all

@@ -1,0 +1,691 @@
+package main
+
+// Cluster benchmark: an in-process coordinator drives real worker
+// processes (this binary re-exec'd with -cluster-worker-join) over
+// loopback HTTP. Phase A replays the service workload at scale and
+// verifies every verdict against a single-node run of the same pairs;
+// phase B SIGKILLs a worker mid-sweep and proves zero lost jobs and zero
+// wrong verdicts. The report lands in BENCH_cluster.json, with throughput
+// scaled against the single-node BENCH_service.json baseline.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"simsweep"
+	"simsweep/internal/cluster"
+	"simsweep/internal/service"
+)
+
+// runClusterWorker is the child side: an ordinary worker daemon — service,
+// HTTP listener, heartbeat agent, federated cache — that lives until its
+// stdin pipe closes (parent exit) or it is killed.
+func runClusterWorker(join, id string) int {
+	svc := service.New(service.Config{
+		MaxConcurrent: 1,
+		TotalWorkers:  1,
+		QueueCap:      256,
+		Remote:        cluster.NewFederatedCache(join, id),
+	})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab worker:", err)
+		return 2
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	go srv.Serve(ln)
+	agent, err := cluster.StartAgent(cluster.AgentConfig{
+		ID:          id,
+		Advertise:   "http://" + ln.Addr().String(),
+		Coordinator: join,
+		Interval:    200 * time.Millisecond,
+		Service:     svc,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab worker:", err)
+		return 2
+	}
+	defer agent.Stop()
+	io.Copy(io.Discard, os.Stdin) // block until the parent goes away
+	return 0
+}
+
+type clusterChaos struct {
+	Jobs          int    `json:"jobs"`
+	DistinctPairs int    `json:"distinct_pairs"`
+	KilledWorker  string `json:"killed_worker"`
+	WrongVerdicts int    `json:"wrong_verdicts"`
+	LostJobs      int    `json:"lost_jobs"`
+	Requeues      uint64 `json:"requeues"`
+	Deaths        uint64 `json:"deaths"`
+	Wall          string `json:"wall"`
+}
+
+type clusterReport struct {
+	Generated     string  `json:"generated"`
+	Workers       int     `json:"workers"`
+	Jobs          int     `json:"jobs"`
+	DistinctPairs int     `json:"distinct_pairs"`
+	WallNS        int64   `json:"wall_ns"`
+	Wall          string  `json:"wall"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+
+	VerdictsChecked  int    `json:"verdicts_checked"`
+	VerdictsMatch    bool   `json:"verdicts_match_single_node"`
+	FedHits          uint64 `json:"fed_hits"`
+	Coalesced        uint64 `json:"coalesced"`
+	Dispatches       uint64 `json:"dispatches"`
+	Steals           uint64 `json:"steals"`
+	Requeues         uint64 `json:"requeues"`
+	Deaths           uint64 `json:"deaths"`
+	DuplicateSettles uint64 `json:"duplicate_settles"`
+
+	BaselineJobsPerSec float64 `json:"baseline_jobs_per_sec"`
+	Scaling            float64 `json:"scaling_vs_single_node"`
+
+	Chaos clusterChaos `json:"chaos"`
+}
+
+// benchPair is one workload pair plus its ground-truth verdict.
+type benchPair struct {
+	name    string
+	body    []byte
+	verdict string // expected wire verdict
+}
+
+func buildClusterPairs() ([]benchPair, error) {
+	var out []benchPair
+	for _, w := range serviceWorkload {
+		g, err := simsweep.Generate(w.family, w.scale)
+		if err != nil {
+			continue // families vary by build, as in the service bench
+		}
+		h := simsweep.Optimize(g)
+		want := simsweep.Equivalent.String()
+		if w.buggy {
+			h.SetPO(0, h.PO(0).Not())
+			want = simsweep.NotEquivalent.String()
+		}
+		jr, err := service.EncodeRequest(service.Request{A: g, B: h})
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(jr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, benchPair{
+			name:    fmt.Sprintf("%s-%d-buggy=%v", w.family, w.scale, w.buggy),
+			body:    raw,
+			verdict: want,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster bench: no workload pairs built")
+	}
+	return out, nil
+}
+
+// chaosVariants derives distinct pairs from the workload by complementing
+// one PO on both sides: equivalence (and non-equivalence) is preserved, so
+// every variant keeps its base pair's ground-truth verdict while carrying
+// a fresh fingerprint key the federation has never seen.
+func chaosVariants(perBase int) ([]benchPair, error) {
+	var out []benchPair
+	for _, w := range serviceWorkload {
+		g, err := simsweep.Generate(w.family, w.scale)
+		if err != nil {
+			continue
+		}
+		h := simsweep.Optimize(g)
+		want := simsweep.Equivalent.String()
+		if w.buggy {
+			h.SetPO(0, h.PO(0).Not())
+			want = simsweep.NotEquivalent.String()
+		}
+		n := g.NumPOs()
+		if n > perBase {
+			n = perBase
+		}
+		for i := 0; i < n; i++ {
+			a, b := g.Copy(), h.Copy()
+			a.SetPO(i, a.PO(i).Not())
+			b.SetPO(i, b.PO(i).Not())
+			jr, err := service.EncodeRequest(service.Request{A: a, B: b})
+			if err != nil {
+				return nil, err
+			}
+			raw, err := json.Marshal(jr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, benchPair{
+				name:    fmt.Sprintf("%s-%d-buggy=%v-po%d", w.family, w.scale, w.buggy, i),
+				body:    raw,
+				verdict: want,
+			})
+		}
+	}
+	return out, nil
+}
+
+// singleNodeVerdicts runs every pair through a local single-node service
+// and returns its verdicts — the reference the cluster must match.
+func singleNodeVerdicts(pairs []benchPair) (map[string]string, error) {
+	svc := service.New(service.Config{MaxConcurrent: 1, QueueCap: len(pairs) + 1})
+	defer svc.Close()
+	out := make(map[string]string, len(pairs))
+	for i := range pairs {
+		var jr service.JobRequest
+		if err := json.Unmarshal(pairs[i].body, &jr); err != nil {
+			return nil, err
+		}
+		req, err := service.DecodeRequest(jr)
+		if err != nil {
+			return nil, err
+		}
+		j, err := svc.Submit(req)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			jj, err := svc.Get(j.ID)
+			if err != nil {
+				return nil, err
+			}
+			if jj.State.Terminal() {
+				if jj.State != service.StateDone || jj.Result == nil {
+					return nil, fmt.Errorf("single-node reference job %s ended %s (%s)", pairs[i].name, jj.State, jj.Err)
+				}
+				out[pairs[i].name] = jj.Result.Outcome.String()
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return out, nil
+}
+
+type workerProc struct {
+	id    string
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+}
+
+func spawnBenchWorker(join, id string) (*workerProc, error) {
+	cmd := exec.Command(os.Args[0], "-cluster-worker-join", join, "-cluster-worker-id", id)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &workerProc{id: id, cmd: cmd, stdin: stdin}, nil
+}
+
+func (w *workerProc) stop() {
+	if w.stdin != nil {
+		w.stdin.Close()
+	}
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	w.cmd.Wait()
+}
+
+// clusterClient is one submitter's keep-alive HTTP client.
+func clusterClient() *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     60 * time.Second,
+		},
+	}
+}
+
+// jobLite is the slice of the wire record the bench actually verifies;
+// decoding into it instead of the full JobJSON keeps the client cheap on
+// the measured path.
+type jobLite struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Verdict string `json:"verdict"`
+	Error   string `json:"error"`
+}
+
+func clusterPost(hc *http.Client, base string, body []byte) (jobLite, int, error) {
+	resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobLite{}, 0, err
+	}
+	defer resp.Body.Close()
+	var j jobLite
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return jobLite{}, resp.StatusCode, err
+	}
+	return j, resp.StatusCode, nil
+}
+
+// rawClient is a wrk-style load-generation client: one persistent TCP
+// connection, preformatted request bytes, and a minimal HTTP/1.1 response
+// parse. The server side stays the stock net/http stack — this only keeps
+// the measuring side from dominating a single-core run.
+type rawClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialRaw(base string) (*rawClient, error) {
+	addr := strings.TrimPrefix(base, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &rawClient{conn: conn, br: bufio.NewReaderSize(conn, 8192)}, nil
+}
+
+// rawRequest preformats a keep-alive POST /v1/jobs for a body.
+func rawRequest(base string, body []byte) []byte {
+	host := strings.TrimPrefix(base, "http://")
+	head := fmt.Sprintf("POST /v1/jobs HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
+		host, len(body))
+	return append([]byte(head), body...)
+}
+
+// roundTrip writes one preformatted request and parses the reply into
+// buf[:0], returning the status code and body.
+func (rc *rawClient) roundTrip(req, buf []byte) (int, []byte, error) {
+	if _, err := rc.conn.Write(req); err != nil {
+		return 0, nil, err
+	}
+	line, err := rc.br.ReadSlice('\n')
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.1 ")) {
+		return 0, nil, fmt.Errorf("raw client: bad status line %q", line)
+	}
+	status := int(line[9]-'0')*100 + int(line[10]-'0')*10 + int(line[11]-'0')
+	clen := -1
+	for {
+		line, err = rc.br.ReadSlice('\n')
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(bytes.TrimRight(line, "\r\n")) == 0 {
+			break
+		}
+		if v, ok := bytes.CutPrefix(line, []byte("Content-Length: ")); ok {
+			clen = 0
+			for _, c := range bytes.TrimRight(v, "\r\n") {
+				clen = clen*10 + int(c-'0')
+			}
+		}
+	}
+	if clen < 0 {
+		return 0, nil, fmt.Errorf("raw client: no Content-Length in reply")
+	}
+	buf = buf[:0]
+	if cap(buf) < clen {
+		buf = make([]byte, 0, clen)
+	}
+	buf = buf[:clen]
+	if _, err := io.ReadFull(rc.br, buf); err != nil {
+		return 0, nil, err
+	}
+	return status, buf, nil
+}
+
+func (rc *rawClient) close() { rc.conn.Close() }
+
+func clusterWait(hc *http.Client, base, id string, within time.Duration) (jobLite, error) {
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := hc.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return jobLite{}, err
+		}
+		var j jobLite
+		derr := json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return jobLite{}, fmt.Errorf("job %s lost: HTTP %d", id, resp.StatusCode)
+		}
+		if derr != nil {
+			return jobLite{}, derr
+		}
+		if service.State(j.State).Terminal() {
+			return j, nil
+		}
+		if time.Now().After(deadline) {
+			return jobLite{}, fmt.Errorf("job %s still %s after %v", id, j.State, within)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func runClusterBench(path, baselinePath string, totalJobs, nWorkers int) error {
+	if nWorkers < 2 {
+		nWorkers = 2
+	}
+	// Coordinator, load generator and verification all share one process
+	// (and on small boxes one core), so GC cycles come straight out of the
+	// measured path. Trade heap for throughput like a production server
+	// deployment would.
+	debug.SetGCPercent(800)
+	pairs, err := buildClusterPairs()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster bench: %d workload pairs, %d jobs, %d worker processes\n",
+		len(pairs), totalJobs, nWorkers)
+
+	fmt.Println("cluster bench: computing single-node reference verdicts ...")
+	reference, err := singleNodeVerdicts(pairs)
+	if err != nil {
+		return err
+	}
+
+	// Coordinator in-process (so its Stats are directly readable), workers
+	// as real processes over loopback.
+	co := cluster.New(cluster.Config{
+		HeartbeatTimeout: 2 * time.Second,
+		SweepInterval:    250 * time.Millisecond,
+	})
+	defer co.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: cluster.NewHandler(co)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	workers := make([]*workerProc, 0, nWorkers)
+	defer func() {
+		for _, w := range workers {
+			w.stop()
+		}
+	}()
+	for i := 0; i < nWorkers; i++ {
+		w, err := spawnBenchWorker(base, fmt.Sprintf("bw%d", i+1))
+		if err != nil {
+			return err
+		}
+		workers = append(workers, w)
+	}
+	joinDeadline := time.Now().Add(30 * time.Second)
+	for len(co.Stats().Workers) < nWorkers {
+		if time.Now().After(joinDeadline) {
+			return fmt.Errorf("cluster bench: only %d/%d workers joined", len(co.Stats().Workers), nWorkers)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("cluster bench: %d workers joined\n", nWorkers)
+
+	// ---- Phase A: throughput replay with verdict verification ----
+	// A 202 is waited on inline: every verdict is verified the moment it is
+	// available, and no record is ever polled late enough for the
+	// coordinator's finished-job retention to have evicted it.
+	const submitters = 4
+	var (
+		mu        sync.Mutex
+		mismatch  []string
+		submitErr error
+	)
+	perSub := totalJobs / submitters
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rc, err := dialRaw(base)
+			if err != nil {
+				mu.Lock()
+				submitErr = err
+				mu.Unlock()
+				return
+			}
+			defer rc.close()
+			hc := clusterClient() // for the rare 202 wait loop
+			reqs := make([][]byte, len(pairs))
+			for pi := range pairs {
+				reqs[pi] = rawRequest(base, pairs[pi].body)
+			}
+			// verified[pi] is the last 200 body already checked for pair
+			// pi: the coordinator's replay fast path serves a decided key
+			// as identical bytes, so an equal reply needs no decode.
+			verified := make([][]byte, len(pairs))
+			buf := make([]byte, 0, 4096)
+			for i := 0; i < perSub; i++ {
+				pi := (s*perSub + i) % len(pairs)
+				p := pairs[pi]
+				status, resp, err := rc.roundTrip(reqs[pi], buf)
+				buf = resp[:0]
+				if err != nil {
+					mu.Lock()
+					submitErr = err
+					mu.Unlock()
+					return
+				}
+				if status == 200 && verified[pi] != nil && bytes.Equal(resp, verified[pi]) {
+					continue
+				}
+				var j jobLite
+				if derr := json.Unmarshal(resp, &j); derr != nil {
+					mu.Lock()
+					submitErr = derr
+					mu.Unlock()
+					return
+				}
+				fromPost := status == 200
+				if status == 202 {
+					j, err = clusterWait(hc, base, j.ID, 5*time.Minute)
+					if err != nil {
+						mu.Lock()
+						submitErr = err
+						mu.Unlock()
+						return
+					}
+					status = 200
+				}
+				switch {
+				case status == 200:
+					if j.Verdict != p.verdict || service.State(j.State) != service.StateDone {
+						mu.Lock()
+						mismatch = append(mismatch, fmt.Sprintf("%s (%s): state=%s got %q want %q", p.name, j.ID, j.State, j.Verdict, p.verdict))
+						mu.Unlock()
+					} else if fromPost {
+						verified[pi] = append([]byte(nil), resp...)
+					}
+				default:
+					mu.Lock()
+					submitErr = fmt.Errorf("submit %s: HTTP %d (%s)", p.name, status, j.Error)
+					mu.Unlock()
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if submitErr != nil {
+		return submitErr
+	}
+	wall := time.Since(start)
+	jobsDone := perSub * submitters
+
+	// The ground-truth labels must also agree with the single-node run.
+	for _, p := range pairs {
+		if ref, ok := reference[p.name]; ok && ref != p.verdict {
+			mismatch = append(mismatch, fmt.Sprintf("%s: single-node says %q, ground truth %q", p.name, ref, p.verdict))
+		}
+	}
+	if len(mismatch) > 0 {
+		for _, m := range mismatch {
+			fmt.Fprintln(os.Stderr, "cluster bench: VERDICT MISMATCH:", m)
+		}
+		return fmt.Errorf("cluster bench: %d verdict mismatches", len(mismatch))
+	}
+
+	stA := co.Stats()
+	fmt.Printf("cluster bench: phase A: %d jobs in %v (%.1f jobs/sec, %d federation hits, %d dispatches)\n",
+		jobsDone, wall.Round(time.Millisecond), float64(jobsDone)/wall.Seconds(), stA.FedHits, stA.Dispatches)
+
+	// ---- Phase B: SIGKILL chaos ----
+	variants, err := chaosVariants(12)
+	if err != nil {
+		return err
+	}
+	chaosJobs := 2000
+	fmt.Printf("cluster bench: phase B: %d chaos jobs over %d fresh pairs, SIGKILL mid-sweep ...\n",
+		chaosJobs, len(variants))
+	chaosStart := time.Now()
+	killed := ""
+	lost := 0
+	hcB := clusterClient()
+
+	// Seed every fresh key as an un-waited dispatch so the ring is full of
+	// queued and running work, then SIGKILL a worker while roughly a third
+	// of it sits on the victim. The seeds are drained at the end — each one
+	// must still come back done, with the right verdict, from a survivor.
+	type pending struct {
+		id   string
+		want string
+		name string
+	}
+	var seeds []pending
+	for _, p := range variants {
+		j, status, err := clusterPost(hcB, base, p.body)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case 200:
+			if j.Verdict != p.verdict {
+				mismatch = append(mismatch, fmt.Sprintf("chaos %s: got %q want %q", p.name, j.Verdict, p.verdict))
+			}
+		case 202:
+			seeds = append(seeds, pending{id: j.ID, want: p.verdict, name: p.name})
+		default:
+			return fmt.Errorf("chaos submit %s: HTTP %d (%s)", p.name, status, j.Error)
+		}
+	}
+	victim := workers[0]
+	killed = victim.id
+	if err := victim.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("cluster bench: SIGKILL %s: %v", killed, err)
+	}
+	victim.cmd.Wait()
+	fmt.Printf("cluster bench: SIGKILLed worker %s with %d fresh jobs in flight\n", killed, len(seeds))
+
+	// The rest of the replay keeps hammering the coordinator while it
+	// detects the death and requeues the victim's share.
+	for i := len(variants); i < chaosJobs; i++ {
+		p := variants[i%len(variants)]
+		j, status, err := clusterPost(hcB, base, p.body)
+		if status == 202 && err == nil {
+			j, err = clusterWait(hcB, base, j.ID, 5*time.Minute)
+			status = 200
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cluster bench: LOST JOB:", err)
+			lost++
+			continue
+		}
+		switch {
+		case status == 200:
+			if service.State(j.State) != service.StateDone || j.Verdict != p.verdict {
+				mismatch = append(mismatch, fmt.Sprintf("chaos %s (%s): state=%s got %q want %q", p.name, j.ID, j.State, j.Verdict, p.verdict))
+			}
+		default:
+			return fmt.Errorf("chaos submit %s: HTTP %d (%s)", p.name, status, j.Error)
+		}
+	}
+	for _, p := range seeds {
+		j, err := clusterWait(hcB, base, p.id, 5*time.Minute)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cluster bench: LOST JOB:", err)
+			lost++
+			continue
+		}
+		if service.State(j.State) != service.StateDone || j.Verdict != p.want {
+			mismatch = append(mismatch, fmt.Sprintf("chaos %s (%s): state=%s got %q want %q", p.name, p.id, j.State, j.Verdict, p.want))
+		}
+	}
+	chaosWall := time.Since(chaosStart)
+	stB := co.Stats()
+	if len(mismatch) > 0 {
+		for _, m := range mismatch {
+			fmt.Fprintln(os.Stderr, "cluster bench: WRONG VERDICT:", m)
+		}
+	}
+	if lost > 0 || len(mismatch) > 0 {
+		return fmt.Errorf("cluster bench: chaos phase: %d lost jobs, %d wrong verdicts", lost, len(mismatch))
+	}
+	fmt.Printf("cluster bench: phase B: %d jobs survived the SIGKILL of %s (0 lost, 0 wrong; %d requeues, %d deaths) in %v\n",
+		chaosJobs, killed, stB.Requeues-stA.Requeues, stB.Deaths-stA.Deaths, chaosWall.Round(time.Millisecond))
+
+	// ---- Report ----
+	report := clusterReport{
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		Workers:          nWorkers,
+		Jobs:             jobsDone,
+		DistinctPairs:    len(pairs),
+		WallNS:           wall.Nanoseconds(),
+		Wall:             wall.String(),
+		JobsPerSec:       float64(jobsDone) / wall.Seconds(),
+		VerdictsChecked:  jobsDone + chaosJobs,
+		VerdictsMatch:    true,
+		FedHits:          stB.FedHits,
+		Coalesced:        stB.Coalesced,
+		Dispatches:       stB.Dispatches,
+		Steals:           stB.Steals,
+		Requeues:         stB.Requeues,
+		Deaths:           stB.Deaths,
+		DuplicateSettles: stB.Duplicates,
+		Chaos: clusterChaos{
+			Jobs:          chaosJobs,
+			DistinctPairs: len(variants),
+			KilledWorker:  killed,
+			WrongVerdicts: 0,
+			LostJobs:      0,
+			Requeues:      stB.Requeues - stA.Requeues,
+			Deaths:        stB.Deaths - stA.Deaths,
+			Wall:          chaosWall.String(),
+		},
+	}
+	if data, err := os.ReadFile(baselinePath); err == nil {
+		var baseRep serviceReport
+		if json.Unmarshal(data, &baseRep) == nil && baseRep.JobsPerSec > 0 {
+			report.BaselineJobsPerSec = baseRep.JobsPerSec
+			report.Scaling = report.JobsPerSec / baseRep.JobsPerSec
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cluster bench: %.1f jobs/sec over %d workers (%.2fx single-node baseline %.1f) -> %s\n",
+		report.JobsPerSec, nWorkers, report.Scaling, report.BaselineJobsPerSec, path)
+	return nil
+}

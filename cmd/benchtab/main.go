@@ -7,6 +7,8 @@
 //	benchtab -all            everything
 //	benchtab -service        service-layer throughput + cache hit rate
 //	                         (BENCH_service.json)
+//	benchtab -cluster        coordinator/worker throughput over real worker
+//	                         processes + SIGKILL chaos (BENCH_cluster.json)
 //	benchtab -fault          fault-injection hook overhead, disabled vs
 //	                         armed-idle (BENCH_fault.json)
 //	benchtab -cuts           strata vs per-level cut enumeration on every
@@ -46,8 +48,15 @@ func run() int {
 	benchJSON := flag.String("benchjson", "BENCH_sim.json", "write per-kernel device statistics to this file (empty: disabled)")
 	svcBench := flag.Bool("service", false, "benchmark the service layer (queue+scheduler+cache) instead of the engines")
 	svcJSON := flag.String("servicejson", "BENCH_service.json", "service benchmark report path")
-	svcJobs := flag.Int("service-jobs", 2, "concurrent jobs (K) for -service")
+	svcK := flag.Int("service-k", 2, "concurrent jobs (K) for -service")
+	svcJobs := flag.Int("service-jobs", 0, "total jobs replayed by -service, recorded in the report (0: rounds x distinct pairs)")
 	svcRounds := flag.Int("service-rounds", 3, "workload replay rounds for -service (round 1 misses, later rounds hit the cache)")
+	cluBench := flag.Bool("cluster", false, "benchmark the distributed path: an in-process coordinator driving real re-exec'd worker processes, then a SIGKILL chaos phase")
+	cluJSON := flag.String("clusterjson", "BENCH_cluster.json", "cluster benchmark report path")
+	cluJobs := flag.Int("cluster-jobs", 100000, "replay submissions for the -cluster throughput phase")
+	cluWorkers := flag.Int("cluster-workers", 3, "worker processes spawned by -cluster")
+	cluWorkerJoin := flag.String("cluster-worker-join", "", "internal: become a -cluster worker process joined to this coordinator URL")
+	cluWorkerID := flag.String("cluster-worker-id", "", "internal: worker identity for -cluster-worker-join")
 	dtBench := flag.Bool("difftest", false, "run the differential-harness smoke sweep and record the backend agreement rate")
 	dtJSON := flag.String("difftestjson", "BENCH_difftest.json", "difftest smoke report path")
 	dtN := flag.Int("difftest-n", 50, "cases for the -difftest sweep")
@@ -93,8 +102,18 @@ func run() int {
 		}
 		return 0
 	}
+	if *cluWorkerJoin != "" {
+		return runClusterWorker(*cluWorkerJoin, *cluWorkerID)
+	}
+	if *cluBench {
+		if err := runClusterBench(*cluJSON, *svcJSON, *cluJobs, *cluWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		return 0
+	}
 	if *svcBench {
-		if err := runServiceBench(*svcJSON, *svcJobs, *workers, *svcRounds); err != nil {
+		if err := runServiceBench(*svcJSON, *svcK, *workers, *svcRounds, *svcJobs); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			return 2
 		}

@@ -52,8 +52,11 @@ type serviceReport struct {
 
 // runServiceBench submits every workload pair `rounds` times — the first
 // round populates the cache, later rounds replay it — and measures
-// wall-clock throughput across all submissions.
-func runServiceBench(path string, jobs, workers int, rounds int) error {
+// wall-clock throughput across all submissions. A non-zero totalJobs
+// overrides the rounds x pairs product: the workload is replayed until
+// exactly that many jobs have been submitted (the recorded "jobs" count),
+// which is how the cluster benchmark pins both sides to the same size.
+func runServiceBench(path string, jobs, workers, rounds, totalJobs int) error {
 	type pair struct{ a, b *simsweep.AIG }
 	pairs := make([]pair, 0, len(serviceWorkload))
 	fmt.Println("service bench: building workload pairs:")
@@ -112,11 +115,19 @@ func runServiceBench(path string, jobs, workers int, rounds int) error {
 		return nil
 	}
 
+	target := rounds * len(pairs)
+	if totalJobs > 0 {
+		target = totalJobs
+		rounds = (totalJobs + len(pairs) - 1) / len(pairs)
+	}
 	start := time.Now()
 	total := 0
-	for r := 0; r < rounds; r++ {
+	for r := 0; r < rounds && total < target; r++ {
 		ids := make([]string, 0, len(pairs))
 		for _, p := range pairs {
+			if total+len(ids) >= target {
+				break
+			}
 			id, err := submit(p)
 			if err != nil {
 				return err

@@ -18,12 +18,28 @@
 //	                           (load in Perfetto or chrome://tracing)
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /healthz            liveness
+//	GET    /readyz             readiness (503 while the queue is saturated,
+//	                           or on a coordinator with no live workers)
 //	GET    /metrics            text-format counters and histograms (queue
 //	                           depth, cache hits, phase durations, kernel
 //	                           launch sizes, queue wait)
 //
 // With -pprof, the net/http/pprof profiling handlers are additionally
 // served under /debug/pprof/.
+//
+// # Cluster mode
+//
+// The same binary scales out. A coordinator serves the identical job API
+// but executes nothing itself — it shards submissions over registered
+// workers by semantic fingerprint key and federates their verdicts:
+//
+//	cecd -coordinator -addr :8350
+//
+// Workers are ordinary daemons that additionally register with the
+// coordinator (and consult its federated verdict index on local cache
+// misses):
+//
+//	cecd -worker -join http://host:8350 -addr :8351 -node-id w1
 package main
 
 import (
@@ -40,6 +56,7 @@ import (
 	"time"
 
 	"simsweep"
+	"simsweep/internal/cluster"
 	"simsweep/internal/service"
 )
 
@@ -59,7 +76,23 @@ func run() int {
 	faults := flag.String("faults", "", "inject faults into the service and every job: 'hook:p=...;...' (see cec -faults); fires show up as cecd_faults_total on /metrics")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault hooks")
 	phaseBudget := flag.Duration("phase-budget", 0, "wall-clock watchdog per simulation phase of every job (0: off)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator: serve the job API, execute nothing, shard over joined workers")
+	worker := flag.Bool("worker", false, "run as a cluster worker: a normal daemon that also registers with -join")
+	join := flag.String("join", "", "coordinator base URL a -worker registers with (e.g. http://host:8350)")
+	nodeID := flag.String("node-id", "", "stable cluster identity of this worker (default host-pid)")
+	advertise := flag.String("advertise", "", "URL the coordinator dials this worker back on (default http://<addr>)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "worker heartbeat period")
+	workerTimeout := flag.Duration("worker-timeout", 2*time.Second, "coordinator declares a worker dead after this much heartbeat silence")
 	flag.Parse()
+
+	if *coordinator && *worker {
+		fmt.Fprintln(os.Stderr, "cecd: -coordinator and -worker are mutually exclusive")
+		return 1
+	}
+	if *worker && *join == "" {
+		fmt.Fprintln(os.Stderr, "cecd: -worker requires -join")
+		return 1
+	}
 
 	var injector *simsweep.FaultInjector
 	if *faults != "" {
@@ -75,6 +108,21 @@ func run() int {
 	if *quiet {
 		logw = nil
 	}
+
+	if *coordinator {
+		return runCoordinator(*addr, *workerTimeout, injector, logw, *withPprof)
+	}
+
+	var remote service.RemoteCache
+	id := *nodeID
+	if *worker {
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		remote = cluster.NewFederatedCache(*join, id)
+	}
+
 	svc := service.New(service.Config{
 		MaxConcurrent:  *jobs,
 		TotalWorkers:   *workers,
@@ -86,8 +134,37 @@ func run() int {
 		Log:            logw,
 		Faults:         injector,
 		PhaseBudget:    *phaseBudget,
+		Remote:         remote,
 	})
 	defer svc.Close()
+
+	if *worker {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + *addr
+		}
+		agent, aerr := cluster.StartAgent(cluster.AgentConfig{
+			ID:          id,
+			Advertise:   adv,
+			Coordinator: *join,
+			Interval:    *heartbeat,
+			Service:     svc,
+			Faults:      injector,
+			// cluster.worker.kill sabotages the whole process, exactly
+			// like a crash: no flush, no goodbye, exit code 137.
+			Kill: func() {
+				fmt.Fprintln(os.Stderr, "cecd: cluster.worker.kill fired, dying")
+				os.Exit(137)
+			},
+			Log: logw,
+		})
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, "cecd:", aerr)
+			return 1
+		}
+		defer agent.Stop()
+		fmt.Fprintf(os.Stderr, "cecd: worker %s joining %s (advertising %s)\n", id, *join, adv)
+	}
 
 	handler := service.NewHandler(svc)
 	if *withPprof {
@@ -117,5 +194,46 @@ func run() int {
 		return 1
 	}
 	fmt.Fprintln(os.Stderr, "cecd: shut down")
+	return 0
+}
+
+// runCoordinator serves the cluster control plane plus the ordinary job
+// API, dispatching to workers instead of local runners.
+func runCoordinator(addr string, workerTimeout time.Duration, injector *simsweep.FaultInjector, logw io.Writer, withPprof bool) int {
+	co := cluster.New(cluster.Config{
+		HeartbeatTimeout: workerTimeout,
+		Faults:           injector,
+		Log:              logw,
+	})
+	defer co.Close()
+
+	handler := cluster.NewHandler(co)
+	if withPprof {
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+	}
+	srv := &http.Server{Addr: addr, Handler: handler}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
+		defer done()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "cecd: coordinator listening on http://%s (workers join via /v1/cluster/heartbeat)\n", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cecd:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "cecd: coordinator shut down")
 	return 0
 }

@@ -11,6 +11,9 @@
 //	cecfuzz -n 5000 -timing             soak run with per-backend timing
 //	cecfuzz -n 500 -faults "par.worker.panic:p=0.3;satsweep.pair.oom:p=0.3"
 //	                                    chaos soak: engines fuzzed while faulted
+//	cecfuzz -n 100 -cluster 3           additionally cross-check a live
+//	                                    coordinator/worker cluster, crashing
+//	                                    and reviving a worker every 25 checks
 //
 // Everything written to stdout is a pure function of the flags: two runs
 // with the same seed produce byte-identical logs and corpora. Timing
@@ -51,6 +54,8 @@ func run() int {
 	noMeta := flag.Bool("no-metamorphic", false, "skip the PI-permutation/strash/resyn2 metamorphic re-checks")
 	timing := flag.Bool("timing", false, "print the per-backend timing table to stderr")
 	faults := flag.String("faults", "", "fault-injection spec armed inside every engine backend, e.g. \"par.worker.panic:p=0.3;sim.round.stall:p=0.1,delay=5ms\"")
+	clusterNodes := flag.Int("cluster", 0, "append an in-process coordinator/worker cluster backend with this many worker daemons (0: off)")
+	clusterKill := flag.Int("cluster-kill-every", 25, "with -cluster, crash-and-revive one worker every this many cluster checks (0: no sabotage)")
 	flag.Parse()
 
 	o := difftest.Options{
@@ -63,6 +68,28 @@ func run() int {
 		ShrinkChecks: *shrinkChecks,
 		CorpusDir:    *corpus,
 		FaultSpec:    *faults,
+	}
+	if *clusterNodes > 0 {
+		backends, berr := difftest.DefaultBackendsWithFaults(*workers, *seed, *faults)
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "cecfuzz:", berr)
+			return 2
+		}
+		rig, rerr := difftest.StartClusterRig(difftest.ClusterRigConfig{
+			Nodes:     *clusterNodes,
+			KillEvery: *clusterKill,
+		})
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "cecfuzz:", rerr)
+			return 2
+		}
+		defer rig.Close()
+		defer func() {
+			if *clusterKill > 0 {
+				fmt.Fprintf(os.Stderr, "cecfuzz: cluster rig crashed and revived %d workers\n", rig.Kills())
+			}
+		}()
+		o.Backends = append(backends, rig.Backend())
 	}
 	s, err := difftest.Run(o, os.Stdout)
 	if err != nil {

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := newRing(64)
+	if got := r.Owner(12345); got != "" {
+		t.Fatalf("empty ring owned by %q", got)
+	}
+	r.Add("w1")
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(uint64(i) * 0x9e3779b97f4a7c15); got != "w1" {
+			t.Fatalf("single-node ring routed to %q", got)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := newRing(64)
+	nodes := []string{"w1", "w2", "w3", "w4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		h := uint64(i) * 0x9e3779b97f4a7c15
+		h ^= h >> 29
+		counts[r.Owner(h)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		// Perfect balance is 0.25; 64 virtual points keeps every node
+		// within a loose band of it.
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of the space: %v", n, 100*share, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	r := newRing(64)
+	for _, n := range []string{"w1", "w2", "w3", "w4"} {
+		r.Add(n)
+	}
+	const keys = 10000
+	before := make([]string, keys)
+	hash := func(i int) uint64 {
+		h := uint64(i)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+		h ^= h >> 31
+		return h
+	}
+	for i := range before {
+		before[i] = r.Owner(hash(i))
+	}
+	r.Remove("w3")
+	moved := 0
+	for i := range before {
+		after := r.Owner(hash(i))
+		if after == "w3" {
+			t.Fatal("removed node still owns keys")
+		}
+		if after != before[i] {
+			if before[i] != "w3" {
+				t.Fatalf("key %d moved from live node %s to %s", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	// Only w3's ~25% share may move.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("%d of %d keys moved on one removal", moved, keys)
+	}
+	// Re-adding restores the original assignment exactly (the ring is a
+	// pure function of the membership set).
+	r.Add("w3")
+	for i := range before {
+		if got := r.Owner(hash(i)); got != before[i] {
+			t.Fatalf("key %d not restored: %s vs %s", i, got, before[i])
+		}
+	}
+}
+
+func TestRingRemoveAbsentAndDouble(t *testing.T) {
+	r := newRing(8)
+	r.Remove("ghost")
+	r.Add("w1")
+	r.Add("w1")
+	if len(r.points) != 8 {
+		t.Fatalf("double add duplicated points: %d", len(r.points))
+	}
+	r.Remove("w1")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("remove left %d nodes, %d points", r.Len(), len(r.points))
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"p:00000000000000aa:00000000000000bb",
+		"m:0123456789abcdef:0123456789abcdef",
+	} {
+		k, err := parseKey(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.String() != s {
+			t.Fatalf("round trip %q -> %q", s, k.String())
+		}
+	}
+	for _, s := range []string{"", "x:00:00", "p:zz:00", "p:00"} {
+		if _, err := parseKey(s); err == nil {
+			t.Fatalf("parseKey(%q) accepted", s)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"simsweep"
+	"simsweep/internal/service"
+)
+
+// TestMain doubles as the worker-helper entry point: when re-exec'd with
+// CLUSTER_WORKER_HELPER=1 the binary becomes a real worker process — its
+// own PID, listener and service — that the parent test can SIGKILL. That
+// is the one failure mode in-process tests cannot fake.
+func TestMain(m *testing.M) {
+	if os.Getenv("CLUSTER_WORKER_HELPER") == "1" {
+		runWorkerHelper()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runWorkerHelper() {
+	id := os.Getenv("CLUSTER_WORKER_ID")
+	coURL := os.Getenv("CLUSTER_CO_URL")
+	svc := service.New(service.Config{MaxConcurrent: 1, TotalWorkers: 1,
+		Remote: NewFederatedCache(coURL, id)})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	go srv.Serve(ln)
+	if _, err := StartAgent(AgentConfig{
+		ID: id, Advertise: "http://" + ln.Addr().String(), Coordinator: coURL,
+		Interval: 50 * time.Millisecond, Service: svc,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	select {} // run until killed
+}
+
+func spawnWorkerProcess(t *testing.T, coURL, id string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"CLUSTER_WORKER_HELPER=1",
+		"CLUSTER_WORKER_ID="+id,
+		"CLUSTER_CO_URL="+coURL,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+// TestSIGKILLWorkerMidSweep drives jobs through two real worker processes
+// and SIGKILLs the one running a long SAT sweep. Every job — including the
+// one that died mid-execution — must settle exactly once on the survivor
+// with a correct verdict: zero lost jobs, zero wrong verdicts.
+func TestSIGKILLWorkerMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real processes")
+	}
+	circuits(t)
+	co, base := startCoordinator(t, Config{
+		HeartbeatTimeout: 500 * time.Millisecond,
+		SweepInterval:    100 * time.Millisecond,
+		Slots:            2,
+	})
+	procs := map[string]*exec.Cmd{
+		"kw1": spawnWorkerProcess(t, base, "kw1"),
+		"kw2": spawnWorkerProcess(t, base, "kw2"),
+	}
+	waitWorkers(t, co, 2, 30*time.Second)
+
+	sa, sb := slowVariant(2)
+	sj, _ := postJob(t, base, pairBodyEngine(t, sa, sb, simsweep.EngineSAT))
+	deadline := time.Now().Add(30 * time.Second)
+	victim := ""
+	for victim == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("slow job never dispatched")
+		}
+		victim = getJob(t, base, sj.ID).Node
+		time.Sleep(10 * time.Millisecond)
+	}
+	var ids []string
+	for i := 0; i < 6; i++ {
+		a, b := eqVariant(i)
+		j, _ := postJob(t, base, pairBody(t, a, b))
+		ids = append(ids, j.ID)
+	}
+
+	// SIGKILL the worker process holding the slow job.
+	if err := procs[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[victim].Wait()
+
+	survivor := "kw1"
+	if victim == "kw1" {
+		survivor = "kw2"
+	}
+	for _, id := range append([]string{sj.ID}, ids...) {
+		j := waitJob(t, base, id, 180*time.Second)
+		if service.State(j.State) != service.StateDone || j.Verdict != simsweep.Equivalent.String() {
+			t.Fatalf("job %s after SIGKILL: state=%s verdict=%q err=%q", id, j.State, j.Verdict, j.Error)
+		}
+	}
+	// The slow job must have been re-run by the survivor specifically.
+	if got := getJob(t, base, sj.ID).Node; got != survivor {
+		t.Fatalf("slow job settled by %q, want survivor %q", got, survivor)
+	}
+	st := co.Stats()
+	if st.Deaths < 1 || st.Requeues < 1 {
+		t.Fatalf("SIGKILL not observed as a death: %+v", st)
+	}
+}

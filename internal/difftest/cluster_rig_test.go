@@ -1,0 +1,75 @@
+package difftest_test
+
+import (
+	"io"
+	"testing"
+
+	"simsweep/internal/difftest"
+)
+
+// TestClusterRigDifferential cross-checks a live in-process cluster against
+// the truth-table oracle and the hybrid engine while the rig crashes and
+// revives a worker every few checks. Any wrong verdict, lost job or
+// disagreement fails the sweep.
+func TestClusterRigDifferential(t *testing.T) {
+	rig, err := difftest.StartClusterRig(difftest.ClusterRigConfig{
+		Nodes:     2,
+		KillEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+
+	all := difftest.DefaultBackends(2, 1)
+	backends := append(all[:1:1], rig.Backend()) // oracle + cluster
+
+	s, err := difftest.Run(difftest.Options{
+		Seed:     7,
+		N:        24,
+		Workers:  2,
+		Backends: backends,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Failures) > 0 {
+		t.Fatalf("cluster backend diverged on %d/%d cases: %+v", len(s.Failures), s.Cases, s.Failures[0])
+	}
+	if s.Cases != 24 {
+		t.Fatalf("ran %d cases, want 24", s.Cases)
+	}
+	if got := rig.Kills(); got < 3 {
+		t.Fatalf("rig crashed %d workers, want >= 3 (sabotage every 5 checks over 24 cases)", got)
+	}
+}
+
+// TestClusterRigStable runs the rig without sabotage: every check must
+// decide (the backend is Complete and not Degradable here), and no worker
+// is ever crashed.
+func TestClusterRigStable(t *testing.T) {
+	rig, err := difftest.StartClusterRig(difftest.ClusterRigConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+
+	all := difftest.DefaultBackends(2, 3)
+	backends := append(all[:1:1], rig.Backend())
+
+	s, err := difftest.Run(difftest.Options{
+		Seed:     3,
+		N:        12,
+		Workers:  2,
+		Backends: backends,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Failures) > 0 {
+		t.Fatalf("cluster backend diverged on %d/%d cases: %+v", len(s.Failures), s.Cases, s.Failures[0])
+	}
+	if rig.Kills() != 0 {
+		t.Fatalf("rig crashed %d workers with sabotage disabled", rig.Kills())
+	}
+}

@@ -55,11 +55,16 @@ const (
 	// HookRunnerCrash crashes a service runner between jobs; the runner
 	// recovers, re-queues the job once with backoff, then fails it.
 	HookRunnerCrash = "service.runner.crash"
+	// HookClusterKill kills a cluster worker node. On a worker's heartbeat
+	// agent it invokes the agent's kill function (cecd -worker exits as if
+	// SIGKILLed); on a coordinator it sabotages the dispatch target, so the
+	// registry declares the node dead and its jobs re-shard.
+	HookClusterKill = "cluster.worker.kill"
 )
 
 // Hooks returns the catalogue of known hook names, sorted.
 func Hooks() []string {
-	return []string{HookRunnerCrash, HookSATOOM, HookSimStall, HookWorkerPanic}
+	return []string{HookClusterKill, HookRunnerCrash, HookSATOOM, HookSimStall, HookWorkerPanic}
 }
 
 // defaultStall is the delay applied by stall-style hooks when the spec does

@@ -2,35 +2,70 @@ package service
 
 import (
 	"container/list"
+	"fmt"
 
 	"simsweep"
 )
 
-// cacheKey identifies a check semantically: the canonical structural
+// Key identifies a check semantically: the canonical structural
 // fingerprints of the two circuits of a pair (order-normalised, so (B, A)
 // resubmissions hit the (A, B) entry), or the fingerprint of a miter. The
 // engine, seed and limits are deliberately excluded: only decided verdicts
 // are cached, and a decided verdict is a property of the circuits alone.
-type cacheKey struct {
-	mode   byte // 'p' pair, 'm' miter
-	lo, hi uint64
+// The cluster layer shards jobs and federates verdicts by the same key.
+type Key struct {
+	// Mode is 'p' for a pair and 'm' for a miter.
+	Mode byte
+	// Lo and Hi are the order-normalised fingerprints (equal in miter mode).
+	Lo, Hi uint64
 }
 
-// keyOf validates the request shape and derives its cache key.
-func keyOf(req Request) (cacheKey, error) {
+// String renders the key for logs and wire query parameters.
+func (k Key) String() string {
+	return fmt.Sprintf("%c:%016x:%016x", k.Mode, k.Lo, k.Hi)
+}
+
+// Shard folds the key into the single hash value used for consistent-hash
+// sharding: jobs with the same semantic identity always land on the same
+// ring owner.
+func (k Key) Shard() uint64 {
+	x := k.Lo ^ (k.Hi * 0x9e3779b97f4a7c15) ^ uint64(k.Mode)<<56
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+// KeyOf validates the request shape and derives its cache/shard key.
+func KeyOf(req Request) (Key, error) {
 	switch {
 	case req.Miter != nil && req.A == nil && req.B == nil:
 		fp := req.Miter.Fingerprint()
-		return cacheKey{mode: 'm', lo: fp, hi: fp}, nil
+		return Key{Mode: 'm', Lo: fp, Hi: fp}, nil
 	case req.Miter == nil && req.A != nil && req.B != nil:
 		fa, fb := req.A.Fingerprint(), req.B.Fingerprint()
 		if fa > fb {
 			fa, fb = fb, fa
 		}
-		return cacheKey{mode: 'p', lo: fa, hi: fb}, nil
+		return Key{Mode: 'p', Lo: fa, Hi: fb}, nil
 	default:
-		return cacheKey{}, ErrBadRequest
+		return Key{}, ErrBadRequest
 	}
+}
+
+// RemoteCache federates decided verdicts across nodes: a service configured
+// with one consults it on a local cache miss and publishes its own decided,
+// non-degraded results back. Implementations must be safe for concurrent
+// use; Lookup and Publish are called without any service lock held, so they
+// may do network I/O. The cluster coordinator's verdict index is the
+// canonical implementation.
+type RemoteCache interface {
+	// Lookup returns a previously decided result for the key, if any node
+	// in the federation has one.
+	Lookup(key Key) (simsweep.Result, bool)
+	// Publish offers a decided, non-degraded result to the federation.
+	// Best-effort: errors are swallowed by the implementation.
+	Publish(key Key, res simsweep.Result)
 }
 
 // lru is a plain LRU map over cached results. It is not self-locking; the
@@ -38,19 +73,19 @@ func keyOf(req Request) (cacheKey, error) {
 type lru struct {
 	cap   int
 	order *list.List // front = most recent; values are *lruEntry
-	byKey map[cacheKey]*list.Element
+	byKey map[Key]*list.Element
 }
 
 type lruEntry struct {
-	key cacheKey
+	key Key
 	res simsweep.Result
 }
 
 func newLRU(capacity int) *lru {
-	return &lru{cap: capacity, order: list.New(), byKey: make(map[cacheKey]*list.Element)}
+	return &lru{cap: capacity, order: list.New(), byKey: make(map[Key]*list.Element)}
 }
 
-func (c *lru) get(key cacheKey) (simsweep.Result, bool) {
+func (c *lru) get(key Key) (simsweep.Result, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
 		return simsweep.Result{}, false
@@ -63,15 +98,8 @@ func (c *lru) get(key cacheKey) (simsweep.Result, bool) {
 // and headline numbers are retained, the bulky artifacts (reduced miter,
 // journal, pattern bank, phase records) are dropped so the cache footprint
 // stays proportional to CacheSize, not to miter sizes.
-func (c *lru) put(key cacheKey, res simsweep.Result) {
-	trimmed := simsweep.Result{
-		Outcome:        res.Outcome,
-		CEX:            res.CEX,
-		Runtime:        res.Runtime,
-		EngineUsed:     res.EngineUsed,
-		ReducedPercent: res.ReducedPercent,
-		SATTime:        res.SATTime,
-	}
+func (c *lru) put(key Key, res simsweep.Result) {
+	trimmed := TrimResult(res)
 	if el, ok := c.byKey[key]; ok {
 		el.Value.(*lruEntry).res = trimmed
 		c.order.MoveToFront(el)
@@ -86,3 +114,18 @@ func (c *lru) put(key cacheKey, res simsweep.Result) {
 }
 
 func (c *lru) len() int { return c.order.Len() }
+
+// TrimResult strips a result down to the fields worth caching or shipping
+// across the federation: the verdict, counter-example and headline numbers
+// survive; bulky artifacts (reduced miter, journal, pattern bank, phase
+// records) are dropped.
+func TrimResult(res simsweep.Result) simsweep.Result {
+	return simsweep.Result{
+		Outcome:        res.Outcome,
+		CEX:            res.CEX,
+		Runtime:        res.Runtime,
+		EngineUsed:     res.EngineUsed,
+		ReducedPercent: res.ReducedPercent,
+		SATTime:        res.SATTime,
+	}
+}

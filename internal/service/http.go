@@ -49,6 +49,13 @@ type JobJSON struct {
 	ReducedPercent float64 `json:"reduced_percent,omitempty"`
 	PhasesRun      int     `json:"phases_run,omitempty"`
 	KernelLaunches int     `json:"kernel_launches,omitempty"`
+	// Degraded marks a verdict that survived internal faults. The cluster
+	// coordinator reads it off the wire: degraded verdicts are returned to
+	// the client but never federated.
+	Degraded bool `json:"degraded,omitempty"`
+	// Node names the worker that executed the job; set by the cluster
+	// coordinator, empty on a single-node daemon.
+	Node string `json:"node,omitempty"`
 
 	Created  string `json:"created,omitempty"`
 	Started  string `json:"started,omitempty"`
@@ -78,6 +85,7 @@ func jobJSON(j Job) JobJSON {
 		out.SATTimeMS = float64(r.SATTime) / float64(time.Millisecond)
 		out.ReducedPercent = r.ReducedPercent
 		out.PhasesRun = len(r.SimPhases)
+		out.Degraded = r.Degraded
 		if r.Outcome == simsweep.NotEquivalent && r.CEX != nil {
 			out.CEX = make([]int, len(r.CEX))
 			for i, v := range r.CEX {
@@ -106,6 +114,7 @@ func timeJSON(t time.Time) string {
 //	GET    /v1/jobs/{id}/trace Chrome trace_event JSON of a traced job
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /healthz            liveness
+//	GET    /readyz             readiness (503 while the queue is saturated)
 //	GET    /metrics            text-format counters and histograms
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -162,6 +171,15 @@ func NewHandler(s *Service) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "queue saturated")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		writeMetrics(w, s.Stats())
@@ -177,37 +195,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 		return
 	}
-	req := Request{
-		Engine:        simsweep.Engine(body.Engine),
-		Seed:          body.Seed,
-		ConflictLimit: body.ConflictLimit,
-		Timeout:       time.Duration(body.TimeoutMS) * time.Millisecond,
-		Trace:         body.Trace || r.URL.Query().Get("trace") == "1",
-	}
-	var err error
-	if body.Miter != "" {
-		if req.Miter, err = decodeAIGER("miter", body.Miter); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-	}
-	if body.A != "" || body.B != "" {
-		if req.A, err = decodeAIGER("a", body.A); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if req.B, err = decodeAIGER("b", body.B); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-	}
-	switch req.Engine {
-	case "", simsweep.EngineHybrid, simsweep.EngineSim, simsweep.EngineSAT,
-		simsweep.EngineBDD, simsweep.EnginePortfolio:
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q", body.Engine))
+	req, err := DecodeRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	req.Trace = req.Trace || r.URL.Query().Get("trace") == "1"
 
 	j, err := s.Submit(req)
 	switch {
@@ -225,6 +218,78 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusAccepted, jobJSON(j))
 	}
+}
+
+// DecodeRequest imports a wire-format job body into an executable Request:
+// the base64 AIGER payloads are parsed into circuits and the engine name is
+// validated. It is the import half of the cluster's job forwarding — the
+// coordinator and every worker accept exactly the same bodies.
+func DecodeRequest(body JobRequest) (Request, error) {
+	req := Request{
+		Engine:        simsweep.Engine(body.Engine),
+		Seed:          body.Seed,
+		ConflictLimit: body.ConflictLimit,
+		Timeout:       time.Duration(body.TimeoutMS) * time.Millisecond,
+		Trace:         body.Trace,
+	}
+	var err error
+	if body.Miter != "" {
+		if req.Miter, err = decodeAIGER("miter", body.Miter); err != nil {
+			return Request{}, err
+		}
+	}
+	if body.A != "" || body.B != "" {
+		if req.A, err = decodeAIGER("a", body.A); err != nil {
+			return Request{}, err
+		}
+		if req.B, err = decodeAIGER("b", body.B); err != nil {
+			return Request{}, err
+		}
+	}
+	switch req.Engine {
+	case "", simsweep.EngineHybrid, simsweep.EngineSim, simsweep.EngineSAT,
+		simsweep.EngineBDD, simsweep.EnginePortfolio:
+	default:
+		return Request{}, fmt.Errorf("unknown engine %q", body.Engine)
+	}
+	return req, nil
+}
+
+// EncodeRequest exports a Request back into the wire format accepted by
+// POST /v1/jobs: circuits are serialised as base64 binary AIGER. It is the
+// export half of the cluster's job forwarding; DecodeRequest inverts it.
+func EncodeRequest(req Request) (JobRequest, error) {
+	body := JobRequest{
+		Engine:        string(req.Engine),
+		Seed:          req.Seed,
+		ConflictLimit: req.ConflictLimit,
+		TimeoutMS:     int64(req.Timeout / time.Millisecond),
+		Trace:         req.Trace,
+	}
+	encode := func(g *aig.AIG) (string, error) {
+		var buf bytes.Buffer
+		if err := aiger.Write(&buf, g, true); err != nil {
+			return "", err
+		}
+		return base64.StdEncoding.EncodeToString(buf.Bytes()), nil
+	}
+	var err error
+	switch {
+	case req.Miter != nil && req.A == nil && req.B == nil:
+		if body.Miter, err = encode(req.Miter); err != nil {
+			return JobRequest{}, err
+		}
+	case req.Miter == nil && req.A != nil && req.B != nil:
+		if body.A, err = encode(req.A); err != nil {
+			return JobRequest{}, err
+		}
+		if body.B, err = encode(req.B); err != nil {
+			return JobRequest{}, err
+		}
+	default:
+		return JobRequest{}, ErrBadRequest
+	}
+	return body, nil
 }
 
 func decodeAIGER(field, b64 string) (*aig.AIG, error) {

@@ -100,6 +100,13 @@ type Config struct {
 	CrashBackoffBase time.Duration
 	// CrashBackoffMax caps the crashed-runner backoff (default 2s).
 	CrashBackoffMax time.Duration
+	// Remote, when non-nil, federates the result cache across nodes: a
+	// submission that misses the local LRU consults it before running, and
+	// decided, non-degraded results are published back (asynchronously, so
+	// runner latency never waits on the network). Degraded results are
+	// never published: a verdict that survived faults is trustworthy
+	// locally but must not propagate through the federation.
+	Remote RemoteCache
 }
 
 func (c *Config) fill() {
@@ -162,6 +169,13 @@ type Job struct {
 	// Retries counts how many times the job was re-queued after a runner
 	// crash (at most 1: a job whose second attempt also crashes fails).
 	Retries int
+	// Coalesced marks a job that attached to an identical in-flight
+	// submission instead of executing: the key matched a running leader,
+	// and the leader's decided verdict settled this job too (reported as a
+	// cache hit). Single-flight coalescing guarantees one execution per
+	// distinct fingerprint key no matter how many concurrent submitters
+	// race.
+	Coalesced bool
 }
 
 // job pairs the published record with the scheduling machinery that must
@@ -169,11 +183,15 @@ type Job struct {
 type job struct {
 	Job
 
-	key   cacheKey
+	key   Key
 	req   Request
 	stop  chan struct{}
 	once  sync.Once
 	cause State // timeout or cancelled, set by whoever closed stop
+
+	// followers are jobs with the same key that attached to this leader
+	// while it was in flight; they settle from its result. Guarded by s.mu.
+	followers []*job
 
 	// traceJSON is the rendered Chrome trace of a traced job, set under
 	// s.mu when the job reaches a terminal state.
@@ -192,16 +210,19 @@ func (j *job) stopNow(cause State) {
 type Service struct {
 	cfg Config
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	ring    []string // finished job ids, oldest first
-	cache   *lru
-	seq     int
-	closed  bool
-	running int
+	mu       sync.Mutex
+	jobs     map[string]*job
+	ring     []string // finished job ids, oldest first
+	cache    *lru
+	inflight map[Key]*job // key -> leader job currently queued or running
+	seq      int
+	closed   bool
+	running  int
 
 	// counters for /metrics
 	hits, misses  uint64
+	remoteHits    uint64 // submissions answered by the federated cache
+	coalesced     uint64 // submissions attached to an in-flight identical job
 	byOutcome     map[State]uint64
 	latencies     *latencyRing
 	runnerCrashes uint64 // recovered runner panics (injected or real)
@@ -216,6 +237,7 @@ type Service struct {
 
 	queue chan *job
 	wg    sync.WaitGroup
+	pubWG sync.WaitGroup // async federation publishes in flight
 	devs  []*par.Device
 }
 
@@ -226,6 +248,7 @@ func New(cfg Config) *Service {
 		cfg:       cfg,
 		jobs:      make(map[string]*job),
 		cache:     newLRU(cfg.CacheSize),
+		inflight:  make(map[Key]*job),
 		byOutcome: make(map[State]uint64),
 		latencies: newLatencyRing(1024),
 		phaseHists: map[string]*histogram{
@@ -272,17 +295,22 @@ func (s *Service) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.pubWG.Wait()
 	for _, dev := range s.devs {
 		dev.Close()
 	}
 }
 
 // Submit validates and enqueues a request. Cache hits complete instantly
-// (the returned job is already done); otherwise the job is queued and one
-// of the K runners will pick it up. A full queue fails with ErrQueueFull —
-// that is the admission control the HTTP layer maps to 429.
+// (the returned job is already done), as do federated-cache hits and
+// submissions that coalesce onto an identical in-flight job (single-flight:
+// concurrent submissions of the same fingerprint key execute exactly once —
+// the leader runs, the duplicates settle from its verdict as cache hits).
+// Otherwise the job is queued and one of the K runners will pick it up. A
+// full queue fails with ErrQueueFull — that is the admission control the
+// HTTP layer maps to 429.
 func (s *Service) Submit(req Request) (Job, error) {
-	key, err := keyOf(req)
+	key, err := KeyOf(req)
 	if err != nil {
 		return Job{}, err
 	}
@@ -295,10 +323,86 @@ func (s *Service) Submit(req Request) (Job, error) {
 	}
 
 	s.mu.Lock()
-	if s.closed {
+	if snap, ok, err := s.submitFastLocked(req, key, timeout); ok || err != nil {
 		s.mu.Unlock()
-		return Job{}, ErrClosed
+		return snap, err
 	}
+	if s.cfg.Remote == nil {
+		// No federation: enqueue under the same critical section as the
+		// fast check, so two racing submitters can never both lead.
+		snap, err := s.enqueueLeaderLocked(req, key, timeout)
+		s.mu.Unlock()
+		if err == nil {
+			s.logf("job %s: queued (engine %s)", snap.ID, engineName(req.Engine))
+		}
+		return snap, err
+	}
+	s.mu.Unlock()
+
+	// Local miss with no in-flight leader: consult the federation before
+	// paying for an execution. Network I/O, so no lock is held; the state
+	// is re-checked afterwards because the lookup can race a local
+	// completion or another submitter becoming leader.
+	if res, ok := s.cfg.Remote.Lookup(key); ok && res.Outcome != simsweep.Undecided {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return Job{}, ErrClosed
+		}
+		s.remoteHits++
+		s.cache.put(key, res)
+		j := s.newJobLocked(req, key, timeout)
+		j.State = StateDone
+		j.CacheHit = true
+		j.Started = j.Created
+		j.Finished = time.Now()
+		r := TrimResult(res)
+		j.Result = &r
+		s.finishLocked(j)
+		snap := j.Job
+		s.mu.Unlock()
+		s.logf("job %s: federated cache hit (%v)", snap.ID, res.Outcome)
+		return snap, nil
+	}
+
+	s.mu.Lock()
+	// Re-check under the lock: the federation lookup took real time, and a
+	// local completion or a new leader may have appeared meanwhile.
+	if snap, ok, err := s.submitFastLocked(req, key, timeout); ok || err != nil {
+		s.mu.Unlock()
+		return snap, err
+	}
+	snap, err := s.enqueueLeaderLocked(req, key, timeout)
+	s.mu.Unlock()
+	if err == nil {
+		s.logf("job %s: queued (engine %s)", snap.ID, engineName(req.Engine))
+	}
+	return snap, err
+}
+
+// enqueueLeaderLocked creates a leader job and pushes it onto the runner
+// queue, registering it in the in-flight index so identical submissions
+// coalesce onto it. Callers hold s.mu and have already run the fast-path
+// checks.
+func (s *Service) enqueueLeaderLocked(req Request, key Key, timeout time.Duration) (Job, error) {
+	s.misses++
+	j := s.newJobLocked(req, key, timeout)
+	// Snapshot before unlocking: once queued, a runner may start mutating
+	// the job the instant the lock is released.
+	snap := j.Job
+	select {
+	case s.queue <- j:
+		s.inflight[key] = j
+	default:
+		delete(s.jobs, j.ID)
+		s.misses--
+		return Job{}, ErrQueueFull
+	}
+	return snap, nil
+}
+
+// newJobLocked allocates a queued job record. Callers hold s.mu.
+func (s *Service) newJobLocked(req Request, key Key, timeout time.Duration) *job {
 	s.seq++
 	j := &job{
 		Job: Job{
@@ -313,9 +417,20 @@ func (s *Service) Submit(req Request) (Job, error) {
 		stop: make(chan struct{}),
 	}
 	s.jobs[j.ID] = j
+	return j
+}
 
+// submitFastLocked settles a submission without executing when it can: a
+// local cache hit completes it instantly, and an identical in-flight leader
+// absorbs it as a follower (single-flight). It reports ok=true when the
+// submission was handled. Callers hold s.mu.
+func (s *Service) submitFastLocked(req Request, key Key, timeout time.Duration) (Job, bool, error) {
+	if s.closed {
+		return Job{}, false, ErrClosed
+	}
 	if cached, ok := s.cache.get(key); ok {
 		s.hits++
+		j := s.newJobLocked(req, key, timeout)
 		j.State = StateDone
 		j.CacheHit = true
 		j.Started = j.Created
@@ -324,25 +439,19 @@ func (s *Service) Submit(req Request) (Job, error) {
 		j.Result = &res
 		s.finishLocked(j)
 		snap := j.Job
-		s.mu.Unlock()
 		s.logf("job %s: cache hit (%v)", snap.ID, res.Outcome)
-		return snap, nil
+		return snap, true, nil
 	}
-	s.misses++
-
-	// Snapshot before unlocking: once queued, a runner may start mutating
-	// the job the instant the lock is released.
-	snap := j.Job
-	select {
-	case s.queue <- j:
-	default:
-		delete(s.jobs, j.ID)
-		s.mu.Unlock()
-		return Job{}, ErrQueueFull
+	if lead, ok := s.inflight[key]; ok && !lead.State.Terminal() {
+		s.coalesced++
+		j := s.newJobLocked(req, key, timeout)
+		j.Coalesced = true
+		lead.followers = append(lead.followers, j)
+		snap := j.Job
+		s.logf("job %s: coalesced onto in-flight %s", snap.ID, lead.ID)
+		return snap, true, nil
 	}
-	s.mu.Unlock()
-	s.logf("job %s: queued (engine %s)", snap.ID, engineName(req.Engine))
-	return snap, nil
+	return Job{}, false, nil
 }
 
 // Get returns a snapshot of the job.
@@ -551,6 +660,7 @@ func (s *Service) runJob(j *job, dev *par.Device) {
 		}
 	}
 
+	publish := false
 	s.mu.Lock()
 	j.Finished = time.Now()
 	j.KernelLaunches = totalLaunches(dev) - launchesBefore
@@ -578,6 +688,7 @@ func (s *Service) runJob(j *job, dev *par.Device) {
 		// exercising the engines rather than the cache.
 		if res.Outcome != simsweep.Undecided && !res.Degraded {
 			s.cache.put(j.key, res)
+			publish = true
 		}
 	}
 	if res.Degraded {
@@ -586,6 +697,17 @@ func (s *Service) runJob(j *job, dev *par.Device) {
 	s.finishLocked(j)
 	s.mu.Unlock()
 	s.logf("job %s: %s", j.ID, j.State)
+	if publish && s.cfg.Remote != nil {
+		// Offer the decided verdict to the federation off the runner's
+		// critical path; the publish is best-effort and must never hold a
+		// runner (or a lock) across the network.
+		key, trimmed := j.key, TrimResult(res)
+		s.pubWG.Add(1)
+		go func() {
+			defer s.pubWG.Done()
+			s.cfg.Remote.Publish(key, trimmed)
+		}()
+	}
 }
 
 // check dispatches the engines with the runner's device and the job's stop
@@ -609,7 +731,9 @@ func (s *Service) check(req Request, dev *par.Device, stop <-chan struct{}, trac
 }
 
 // finishLocked records a terminal job in the ring and counters, evicting
-// the oldest retained record beyond RingSize. Callers hold s.mu.
+// the oldest retained record beyond RingSize, and — when the job led an
+// in-flight coalition — settles or promotes its followers. Callers hold
+// s.mu.
 func (s *Service) finishLocked(j *job) {
 	s.byOutcome[j.State]++
 	if j.State == StateDone && !j.CacheHit {
@@ -623,20 +747,83 @@ func (s *Service) finishLocked(j *job) {
 			delete(s.jobs, evict)
 		}
 	}
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+		s.resolveFollowersLocked(j)
+	}
+}
+
+// resolveFollowersLocked settles the followers of a just-finished leader.
+// A decided, non-degraded leader verdict settles every waiting follower as
+// a cache hit (the single execution answered them all). Any other terminal
+// state — failed, cancelled, timed out, undecided or degraded — keeps the
+// followers' promise of a healthy check: the first live follower is
+// promoted to leader and re-enqueued, carrying the rest. Callers hold s.mu.
+func (s *Service) resolveFollowersLocked(j *job) {
+	live := j.followers[:0]
+	for _, f := range j.followers {
+		if !f.State.Terminal() {
+			live = append(live, f)
+		}
+	}
+	j.followers = nil
+	settle := func(f *job, state State, err string) {
+		f.State = state
+		f.Err = err
+		f.Finished = time.Now()
+		s.finishLocked(f) // never recurses: a follower is not in s.inflight
+	}
+	cacheable := j.State == StateDone && j.Result != nil &&
+		j.Result.Outcome != simsweep.Undecided && !j.Result.Degraded
+	if cacheable {
+		for _, f := range live {
+			res := TrimResult(*j.Result)
+			f.CacheHit = true
+			f.Started = f.Created
+			f.Result = &res
+			settle(f, StateDone, "")
+			s.logf("job %s: settled from leader %s (%v)", f.ID, j.ID, res.Outcome)
+		}
+		return
+	}
+	for len(live) > 0 {
+		lead := live[0]
+		live = live[1:]
+		if s.closed || stopClosed(lead.stop) {
+			settle(lead, StateCancelled, "")
+			continue
+		}
+		select {
+		case s.queue <- lead:
+			s.inflight[lead.key] = lead
+			lead.followers = live
+			s.logf("job %s: promoted to leader after %s finished %s", lead.ID, j.ID, j.State)
+			return
+		default:
+			settle(lead, StateFailed, ErrQueueFull.Error())
+		}
+	}
 }
 
 // Stats is a point-in-time snapshot of the service counters for /metrics.
 type Stats struct {
 	QueueDepth  int
+	QueueCap    int
 	Running     int
 	CacheHits   uint64
 	CacheMisses uint64
 	CacheSize   int
-	ByOutcome   map[State]uint64
-	P50         time.Duration
-	P99         time.Duration
-	Workers     int // total worker budget across the K devices
-	Concurrent  int // K
+	// RemoteHits counts submissions answered by the federated cache
+	// (Config.Remote) without a local execution.
+	RemoteHits uint64
+	// Coalesced counts submissions that attached to an identical in-flight
+	// job instead of executing (single-flight duplicates).
+	Coalesced  uint64
+	ByOutcome  map[State]uint64
+	P50        time.Duration
+	P99        time.Duration
+	Workers    int // total worker budget across the K devices
+	Concurrent int // K
 	// RunnerCrashes counts recovered runner panics; Requeues the jobs given
 	// a second attempt after one; Degraded the jobs whose result survived
 	// internal faults.
@@ -659,10 +846,13 @@ func (s *Service) Stats() Stats {
 	p50, p99 := s.latencies.percentiles()
 	return Stats{
 		QueueDepth:    len(s.queue),
+		QueueCap:      s.cfg.QueueCap,
 		Running:       s.running,
 		CacheHits:     s.hits,
 		CacheMisses:   s.misses,
 		CacheSize:     s.cache.len(),
+		RemoteHits:    s.remoteHits,
+		Coalesced:     s.coalesced,
 		ByOutcome:     by,
 		P50:           p50,
 		P99:           p99,
@@ -673,6 +863,16 @@ func (s *Service) Stats() Stats {
 		Degraded:      s.degraded,
 		FaultsByHook:  s.cfg.Faults.Counts(),
 	}
+}
+
+// Ready reports whether the service can admit new work: it is open and the
+// submission queue has a free slot. cmd/cecd serves it as /readyz, the
+// signal load balancers and the cluster coordinator share — a saturated
+// node answers 503 and stops receiving traffic until the queue drains.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && len(s.queue) < s.cfg.QueueCap
 }
 
 func (s *Service) logf(format string, args ...interface{}) {
