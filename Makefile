@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test doccheck race service-race trace-race cluster-race bench benchtab bench-service bench-cluster fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault bench-cuts
+.PHONY: all build test doccheck race service-race trace-race cluster-race bench benchtab bench-service bench-cluster fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault bench-cuts bench-sched
 
-all: build doccheck test fuzz chaos cluster-race bench-cuts
+all: build doccheck test fuzz chaos cluster-race bench-cuts bench-sched
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,12 @@ bench:
 # BENCH_cuts.json. A verdict disagreement between the two fails the run.
 bench-cuts:
 	$(GO) run ./cmd/benchtab -cuts
+
+# Adaptive class scheduler vs each forced single prover on every benchmark
+# family, with the hybrid flow as the verdict reference, written to
+# BENCH_sched.json. Any verdict disagreement fails the run.
+bench-sched:
+	$(GO) run ./cmd/benchtab -sched
 
 # Replay a generated-miter workload through the service layer and write
 # throughput + cache hit rate to BENCH_service.json.

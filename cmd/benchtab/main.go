@@ -13,6 +13,8 @@
 //	                         armed-idle (BENCH_fault.json)
 //	benchtab -cuts           strata vs per-level cut enumeration on every
 //	                         family (BENCH_cuts.json)
+//	benchtab -sched          adaptive class scheduler vs each forced single
+//	                         prover on every family (BENCH_sched.json)
 //
 // -size scales the instances (1 = quick, 2 = larger); -only restricts to a
 // comma-separated list of families.
@@ -64,6 +66,9 @@ func run() int {
 	fltJSON := flag.String("faultjson", "BENCH_fault.json", "fault overhead report path")
 	cutsBench := flag.Bool("cuts", false, "compare the strata cut-enumeration kernel against the per-level reference on every family")
 	cutsJSON := flag.String("cutsjson", "BENCH_cuts.json", "cut-enumeration benchmark report path")
+	schedBench := flag.Bool("sched", false, "compare the adaptive class scheduler against each forced single prover on every family")
+	schedJSON := flag.String("schedjson", "BENCH_sched.json", "class-scheduler benchmark report path")
+	schedBudget := flag.Duration("sched-budget", 90*time.Second, "wall-clock budget per forced single-prover baseline run for -sched (0: unlimited)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
 
@@ -80,6 +85,13 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *schedBench {
+		if err := runSchedBench(*schedJSON, *size, *only, *workers, *seed, *schedBudget); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		return 0
+	}
 	if *cutsBench {
 		if err := runCutsBench(*cutsJSON, *size, *only, *workers, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)

@@ -1,11 +1,12 @@
 // Command cec checks the combinational equivalence of two AIGER netlists
 // (or decides a single miter) with the simulation-based sweeping engine,
-// the SAT sweeping baseline, the BDD engine, the hybrid sim+SAT flow or a
-// portfolio of all of them.
+// the SAT sweeping baseline, the BDD engine, the hybrid sim+SAT flow, the
+// adaptive per-class scheduler or a portfolio of all of them.
 //
 // Usage:
 //
-//	cec [-engine hybrid|sim|sat|bdd|portfolio] a.aig b.aig
+//	cec [-engine hybrid|sim|sat|bdd|portfolio|sched] a.aig b.aig
+//	cec -sched -sched-stats a.aig b.aig
 //	cec -miter m.aig
 //	cec -trace out.json -phase-report a.aig b.aig
 //
@@ -27,7 +28,9 @@ func main() {
 }
 
 func run() int {
-	engine := flag.String("engine", "hybrid", "checking engine: hybrid, sim, sat, bdd, portfolio")
+	engine := flag.String("engine", "hybrid", "checking engine: hybrid, sim, sat, bdd, portfolio, sched")
+	schedFlag := flag.Bool("sched", false, "route each candidate class to the best-fitting prover (shorthand for -engine sched)")
+	schedStats := flag.Bool("sched-stats", false, "print the scheduler's per-engine routing table (implies -sched)")
 	miterPath := flag.String("miter", "", "check a prebuilt miter instead of two circuits")
 	seq := flag.Bool("seq", false, "treat AIGER inputs as sequential: cut at the latch boundary")
 	dump := flag.String("dump", "", "write the final (reduced) miter to this AIGER file")
@@ -46,6 +49,12 @@ func run() int {
 	cutBudget := flag.Int("cut-budget", 0, "candidate cuts enumerated per node before selection (0: 4×cut-c)")
 	flag.Parse()
 
+	if *schedStats {
+		*schedFlag = true
+	}
+	if *schedFlag {
+		*engine = string(simsweep.EngineSched)
+	}
 	opts := simsweep.Options{
 		Engine:        simsweep.Engine(*engine),
 		Workers:       *workers,
@@ -148,6 +157,25 @@ func run() int {
 			fmt.Printf("; SAT backend took %v", res.SATTime.Round(1e6))
 		}
 		fmt.Println()
+	}
+	if res.Sched != nil {
+		st := res.Sched
+		fmt.Printf("sched: %d classes (%d pairs) over %d rounds; %d escalations (%.1f%%), %d cex shared\n",
+			st.Classes, st.Pairs, st.Rounds, st.Escalations, st.EscalationPercent(), st.SharedCEX)
+		if *schedStats {
+			fmt.Println("  engine  routed  escal.  failed  proved  disproved      time")
+			for _, e := range []string{"sim", "sat", "bdd"} {
+				row := st.PerEngine[e]
+				fmt.Printf("  %-6s  %6d  %6d  %6d  %6d  %9d  %8v\n",
+					e, row.Routed, row.Escalated, row.Failed, row.Proved, row.Disproved, row.Time.Round(1e6))
+			}
+			for _, e := range []string{"sim", "sat", "bdd"} {
+				if ex, ok := st.Examples[e]; ok {
+					fmt.Printf("  example %s win: class repr n%d (member n%d), size %d, support %d, depth %d, round %d\n",
+						e, ex.Repr, ex.Member, ex.Size, ex.Support, ex.Depth, ex.Round)
+				}
+			}
+		}
 	}
 	if *verbose {
 		for _, ph := range res.SimPhases {

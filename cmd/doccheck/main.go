@@ -1,8 +1,12 @@
 // Command doccheck enforces the repository's documentation bar: every
 // exported top-level identifier (type, function, method, and const/var
-// group) of the listed packages must carry a doc comment. It parses the
-// source with go/parser — no build step, no external tools — and prints
-// one line per violation.
+// group) of the listed packages must carry a doc comment, and the comment
+// must start with the identifier's name per the Go convention (a leading
+// "A", "An" or "The" and "Deprecated:" notices are allowed; const/var
+// specs are held to the naming rule only when they declare a single
+// name, since one comment legitimately covers a multi-name group). It
+// parses the source with go/parser — no build step, no external tools —
+// and prints one line per violation.
 //
 // Usage:
 //
@@ -77,7 +81,7 @@ func run() int {
 		violations += n
 	}
 	if violations > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", violations)
+		fmt.Fprintf(os.Stderr, "doccheck: %d documentation violations\n", violations)
 		return 1
 	}
 	return 0
@@ -100,6 +104,17 @@ func checkDir(dir string) (int, error) {
 		fmt.Printf("%s:%d: exported %s %s has no doc comment\n", p.Filename, p.Line, what, name)
 		violations++
 	}
+	reportPrefix := func(pos token.Pos, what, name, first string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: exported %s %s: doc comment starts with %q, not the identifier name\n",
+			p.Filename, p.Line, what, name, first)
+		violations++
+	}
+	prefix := func(pos token.Pos, what, name string, doc *ast.CommentGroup) {
+		if ok, first := prefixOK(doc, name); !ok {
+			reportPrefix(pos, what, name, first)
+		}
+	}
 
 	for name, pkg := range pkgs {
 		if strings.HasSuffix(name, "_test") {
@@ -109,20 +124,24 @@ func checkDir(dir string) (int, error) {
 			for _, decl := range file.Decls {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:
-					if !d.Name.IsExported() || d.Doc != nil {
+					if !d.Name.IsExported() {
 						continue
 					}
+					what, label := "function", d.Name.Name
 					if d.Recv != nil {
 						recv, exported := receiverName(d.Recv)
 						if !exported {
 							continue // method on an unexported type
 						}
-						report(d.Pos(), "method", recv+"."+d.Name.Name)
+						what, label = "method", recv+"."+d.Name.Name
+					}
+					if d.Doc == nil {
+						report(d.Pos(), what, label)
 					} else {
-						report(d.Pos(), "function", d.Name.Name)
+						prefix(d.Pos(), what, label, d.Doc)
 					}
 				case *ast.GenDecl:
-					checkGenDecl(d, report)
+					checkGenDecl(d, report, prefix)
 				}
 			}
 		}
@@ -130,10 +149,45 @@ func checkDir(dir string) (int, error) {
 	return violations, nil
 }
 
+// prefixOK reports whether the doc comment starts with the identifier's
+// name, per the Go documentation convention, returning the offending
+// first word otherwise. A leading article ("A", "An", "The") and
+// "Deprecated:" notices are accepted; for methods the name after the
+// receiver is what must appear.
+func prefixOK(doc *ast.CommentGroup, name string) (bool, string) {
+	text := doc.Text()
+	if text == "" {
+		return true, "" // only directive comments; nothing to check
+	}
+	if strings.HasPrefix(text, "Deprecated:") {
+		return true, ""
+	}
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:] // methods are documented by their bare name
+	}
+	fields := strings.Fields(text)
+	i := 0
+	if fields[i] == "A" || fields[i] == "An" || fields[i] == "The" {
+		i++
+	}
+	if i >= len(fields) {
+		return false, fields[0]
+	}
+	w := strings.TrimRight(fields[i], ".,:;!?")
+	if w == name || strings.TrimSuffix(w, "'s") == name {
+		return true, ""
+	}
+	return false, fields[i]
+}
+
 // checkGenDecl handles type, const and var declarations. A documented
 // const/var group documents all its members; an undocumented group is
-// reported once per exported member lacking its own comment.
-func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+// reported once per exported member lacking its own comment. The
+// identifier-prefix rule applies to types and to const/var specs
+// declaring a single name whose doc comment belongs to them alone — a
+// group comment over several specs is a collective description and is
+// exempt.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string), prefix func(token.Pos, string, string, *ast.CommentGroup)) {
 	switch d.Tok {
 	case token.TYPE:
 		for _, spec := range d.Specs {
@@ -141,7 +195,14 @@ func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
 			if !ts.Name.IsExported() {
 				continue
 			}
-			if d.Doc == nil && ts.Doc == nil {
+			switch {
+			case ts.Doc != nil:
+				prefix(ts.Pos(), "type", ts.Name.Name, ts.Doc)
+			case d.Doc != nil:
+				if len(d.Specs) == 1 {
+					prefix(ts.Pos(), "type", ts.Name.Name, d.Doc)
+				}
+			default:
 				report(ts.Pos(), "type", ts.Name.Name)
 			}
 		}
@@ -158,6 +219,15 @@ func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
 				if n.IsExported() && !specDocumented {
 					report(n.Pos(), what, n.Name)
 				}
+			}
+			if len(vs.Names) != 1 || !vs.Names[0].IsExported() {
+				continue
+			}
+			switch {
+			case vs.Doc != nil:
+				prefix(vs.Pos(), what, vs.Names[0].Name, vs.Doc)
+			case groupDocumented && len(d.Specs) == 1:
+				prefix(vs.Pos(), what, vs.Names[0].Name, d.Doc)
 			}
 		}
 	}

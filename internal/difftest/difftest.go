@@ -1,7 +1,8 @@
 // Package difftest is the differential and metamorphic fuzzing harness of
 // the CEC engine zoo. The repo carries several independent deciders — the
 // simulation-sweeping core under multiple configurations, the hybrid flow,
-// the ABC-style SAT sweeper, the BDD engine and the portfolio checker —
+// the ABC-style SAT sweeper, the BDD engine, the portfolio checker and the
+// class scheduler —
 // and the paper's central claim is that they all return the same verdicts.
 // This package generates seeded random miters (equivalent by construction,
 // or mutated to be inequivalent with a known witness), runs every backend
@@ -190,10 +191,11 @@ func extConfig() *core.Config {
 // configurations (paper defaults, a starved windowing configuration, the
 // all-extensions configuration and a starved cut-enumeration
 // configuration), the hybrid flow, standalone SAT
-// sweeping with unlimited conflicts, the BDD engine and the portfolio.
-// The oracle, hybrid, SAT, BDD and portfolio backends are complete on the
-// small circuits the harness generates; the sim-only backends may return
-// Undecided, which the harness tolerates.
+// sweeping with unlimited conflicts, the BDD engine, the portfolio and the
+// class scheduler (adaptive per-class routing with an unlimited backstop).
+// The oracle, hybrid, SAT, BDD, portfolio and sched backends are complete
+// on the small circuits the harness generates; the sim-only backends may
+// return Undecided, which the harness tolerates.
 //
 // workers bounds each backend's parallel device (0: all CPUs); seed drives
 // the backends' internal random stimulus (independent of case generation).
@@ -234,5 +236,6 @@ func DefaultBackendsWithFaults(workers int, seed int64, spec string) ([]Backend,
 		facadeBackend("sat", true, workers, seed, nil, simsweep.EngineSAT, spec),
 		facadeBackend("bdd", true, workers, seed, nil, simsweep.EngineBDD, spec),
 		facadeBackend("portfolio", true, workers, seed, nil, simsweep.EnginePortfolio, spec),
+		facadeBackend("sched", true, workers, seed, nil, simsweep.EngineSched, spec),
 	}, nil
 }

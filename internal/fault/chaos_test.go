@@ -124,6 +124,7 @@ func TestChaosMatrix(t *testing.T) {
 		simsweep.EngineHybrid,
 		simsweep.EngineSAT,
 		simsweep.EnginePortfolio,
+		simsweep.EngineSched,
 	}
 	specs := []struct {
 		name string

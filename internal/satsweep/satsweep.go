@@ -273,6 +273,7 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 	tb := opt.traceBuf()
 
 	var merges []miter.Merge
+	merged := make(map[aig.Lit]bool)
 	undecided := false
 	for i := 0; i < cur.NumPOs(); i++ {
 		if opt.stopped() {
@@ -289,6 +290,13 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 			res.Reduced = cur
 			return res
 		}
+		if merged[po] {
+			// An earlier PO with this exact literal already proved it
+			// constant zero; a duplicate merge entry for the node would be
+			// rejected wholesale. (The opposite literal still gets its
+			// solve: it would be constant one, a disproof.)
+			continue
+		}
 		// PO-constancy queries are pair checks against constant zero, so
 		// they share the pair hook; this also guarantees the hook has a
 		// firing opportunity on miters whose classes yield no pairs.
@@ -302,6 +310,7 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 				Member: int32(po.ID()),
 				Target: aig.False.NotIf(po.IsCompl()),
 			})
+			merged[po] = true
 		case sat.Sat:
 			res.Stats.Disproved++
 			res.Outcome = NotEquivalent
@@ -314,9 +323,15 @@ func finishPOs(cur *aig.AIG, opt Options, res Result) Result {
 		}
 	}
 	if len(merges) > 0 {
-		if reduced, _, err := miter.Reduce(cur, merges); err == nil {
-			cur = reduced
+		reduced, _, err := miter.Reduce(cur, merges)
+		if err != nil {
+			// A merge-bookkeeping bug; degrade loudly instead of silently
+			// reporting undecided.
+			res.Faults = append(res.Faults, fmt.Sprintf("satsweep.finish.reduce: %v", err))
+			res.Reduced = cur
+			return res
 		}
+		cur = reduced
 	}
 	res.Reduced = cur
 	if !undecided && miter.IsProved(cur) {

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Features is the cheap per-class feature vector the scheduler routes on.
+// Everything here is O(class size) to extract from state the sweep already
+// has (capped structural supports, node levels, simulation signatures) —
+// feature extraction must stay negligible next to the cheapest prover.
+type Features struct {
+	// Size is the number of nodes in the class, representative included.
+	Size int
+	// Support is the width of the class's united PI support, or -1 when any
+	// member's support exceeds the structural cap (too wide to enumerate).
+	Support int
+	// Depth is the maximum level of any class member.
+	Depth int
+	// Entropy is the Shannon entropy, in bits, of the representative's
+	// simulation signature: 0 for a constant-looking signature, 1 for a
+	// balanced one. Low entropy on a non-constant class hints that random
+	// simulation is starved and a decision procedure should take over.
+	Entropy float64
+}
+
+// sigEntropy computes the bit-balance entropy of a signature.
+func sigEntropy(sig []uint64) float64 {
+	if len(sig) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, w := range sig {
+		ones += bits.OnesCount64(w)
+	}
+	total := len(sig) * 64
+	p := float64(ones) / float64(total)
+	if p == 0 || p == 1 {
+		return 0
+	}
+	return -(p*math.Log2(p) + (1-p)*math.Log2(1-p))
+}
+
+// mergeSorted merges two sorted, duplicate-free id slices.
+func mergeSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

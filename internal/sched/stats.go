@@ -1,0 +1,102 @@
+package sched
+
+import "time"
+
+// EngineClassStats is one engine's share of a run's class traffic.
+type EngineClassStats struct {
+	// Routed counts classes whose first rung was this engine.
+	Routed uint64
+	// Escalated counts classes that arrived here from a failed lower rung.
+	Escalated uint64
+	// Failed counts attempts the engine could not finish (budget exhausted,
+	// node limit, recovered fault); each failure escalates or parks the
+	// class, never decides it.
+	Failed uint64
+	// Proved and Disproved count candidate pairs the engine decided.
+	Proved    uint64
+	Disproved uint64
+	// Time is the wall-clock the engine's dispatches consumed.
+	Time time.Duration
+}
+
+// ClassExample records one concrete class an engine fully resolved, for
+// the routing-table walkthrough in EXPERIMENTS.md.
+type ClassExample struct {
+	Repr    int32
+	Member  int32
+	Size    int
+	Support int
+	Depth   int
+	Round   int
+}
+
+// Stats reports the work of a scheduled sweep.
+type Stats struct {
+	// Rounds is the number of simulate/classify/dispatch iterations.
+	Rounds int
+	// Classes and Pairs count the candidate classes and pairs scheduled
+	// across all rounds.
+	Classes int
+	Pairs   int
+	// Escalations counts rung transitions (a class moving to its next
+	// engine after a failed attempt).
+	Escalations int
+	// Deferred counts classes no prover scored above the floor: they skip
+	// per-pair proving entirely and fall to the run-level SAT backstop.
+	Deferred int
+	// Parked counts classes a parking trigger handed to the backstop
+	// mid-wave: the SAT probe (near-zero-conflict proofs the final PO pass
+	// gets for free), the SAT wave/run budgets, or the BDD run fuse.
+	Parked int
+	// SharedCEX counts pending pairs refuted by replaying a counter-example
+	// another prover found in the same round — the cross-engine sharing
+	// channel.
+	SharedCEX int
+	// SATCalls counts solver queries across routed SAT attempts and the
+	// final PO pass.
+	SATCalls int
+	// PerEngine breaks class traffic down by engine name.
+	PerEngine map[string]EngineClassStats
+	// Examples holds, per engine, the first class that engine fully
+	// resolved with at least one proof.
+	Examples map[string]ClassExample
+	// Runtime is the end-to-end wall-clock of CheckMiter.
+	Runtime time.Duration
+}
+
+// engine returns a mutable view of the engine's row, allocating maps on
+// first use.
+func (s *Stats) engine(name string) EngineClassStats {
+	if s.PerEngine == nil {
+		s.PerEngine = make(map[string]EngineClassStats)
+	}
+	return s.PerEngine[name]
+}
+
+// setEngine writes back a row obtained from engine.
+func (s *Stats) setEngine(name string, row EngineClassStats) {
+	if s.PerEngine == nil {
+		s.PerEngine = make(map[string]EngineClassStats)
+	}
+	s.PerEngine[name] = row
+}
+
+// RoutedPercent returns the share of all scheduled classes whose first
+// rung was the engine, in percent. A run that never built a class (the
+// miter was decided structurally or by plain simulation) reports 0 rather
+// than dividing by zero.
+func (s *Stats) RoutedPercent(engine string) float64 {
+	if s.Classes == 0 {
+		return 0
+	}
+	return 100 * float64(s.engine(engine).Routed) / float64(s.Classes)
+}
+
+// EscalationPercent returns escalations per scheduled class, in percent,
+// with the same zero-class guard as RoutedPercent.
+func (s *Stats) EscalationPercent() float64 {
+	if s.Classes == 0 {
+		return 0
+	}
+	return 100 * float64(s.Escalations) / float64(s.Classes)
+}

@@ -22,7 +22,7 @@ type JobRequest struct {
 	B     string `json:"b,omitempty"`
 	Miter string `json:"miter,omitempty"`
 
-	Engine        string `json:"engine,omitempty"` // hybrid|sim|sat|bdd|portfolio
+	Engine        string `json:"engine,omitempty"` // hybrid|sim|sat|bdd|portfolio|sched
 	Seed          int64  `json:"seed,omitempty"`
 	ConflictLimit int64  `json:"conflict_limit,omitempty"`
 	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
@@ -56,6 +56,10 @@ type JobJSON struct {
 	// Node names the worker that executed the job; set by the cluster
 	// coordinator, empty on a single-node daemon.
 	Node string `json:"node,omitempty"`
+	// SchedClasses counts the classes the sched engine routed, by prover
+	// (sched jobs only). The cluster coordinator aggregates it across
+	// workers into its own metrics.
+	SchedClasses map[string]uint64 `json:"sched_classes,omitempty"`
 
 	Created  string `json:"created,omitempty"`
 	Started  string `json:"started,omitempty"`
@@ -86,6 +90,12 @@ func jobJSON(j Job) JobJSON {
 		out.ReducedPercent = r.ReducedPercent
 		out.PhasesRun = len(r.SimPhases)
 		out.Degraded = r.Degraded
+		if r.Sched != nil && len(r.Sched.PerEngine) > 0 {
+			out.SchedClasses = make(map[string]uint64, len(r.Sched.PerEngine))
+			for e, row := range r.Sched.PerEngine {
+				out.SchedClasses[e] = row.Routed
+			}
+		}
 		if r.Outcome == simsweep.NotEquivalent && r.CEX != nil {
 			out.CEX = make([]int, len(r.CEX))
 			for i, v := range r.CEX {
@@ -248,7 +258,7 @@ func DecodeRequest(body JobRequest) (Request, error) {
 	}
 	switch req.Engine {
 	case "", simsweep.EngineHybrid, simsweep.EngineSim, simsweep.EngineSAT,
-		simsweep.EngineBDD, simsweep.EnginePortfolio:
+		simsweep.EngineBDD, simsweep.EnginePortfolio, simsweep.EngineSched:
 	default:
 		return Request{}, fmt.Errorf("unknown engine %q", body.Engine)
 	}

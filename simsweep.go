@@ -12,8 +12,10 @@
 //   - benchmark circuit generators and a resyn2-style optimizer
 //     (Generate, Optimize, Double) for building realistic miters,
 //   - the checkers: the simulation engine, a SAT sweeping baseline with a
-//     built-in CDCL solver, a BDD engine, the hybrid sim+SAT flow the
-//     paper calls "GPU+ABC", and a multi-engine portfolio
+//     built-in CDCL solver, a BDD engine, the two-stage hybrid flow
+//     (simulation reduces the miter, SAT sweeping finishes the rest), an
+//     adaptive per-class scheduler that routes every candidate class to
+//     the prover its features fit, and a multi-engine portfolio
 //     (CheckEquivalence, CheckMiter).
 //
 // Everything is pure Go with no dependencies; the massively parallel GPU
@@ -40,6 +42,7 @@ import (
 	"simsweep/internal/par"
 	"simsweep/internal/portfolio"
 	"simsweep/internal/satsweep"
+	"simsweep/internal/sched"
 	"simsweep/internal/trace"
 	"simsweep/internal/verilog"
 )
@@ -177,15 +180,20 @@ func (o Outcome) String() string {
 // Engine selects the checking algorithm.
 type Engine string
 
-// Available engines. EngineHybrid is the paper's full flow: the simulation
-// engine reduces (and often fully proves) the miter, and SAT sweeping
-// finishes whatever remains.
+// Available engines. EngineHybrid is the two-stage run-level flow: the
+// simulation engine reduces (and often fully proves) the miter, and SAT
+// sweeping finishes whatever remains. EngineSched replaces that run-level
+// ladder with per-class routing: every candidate equivalence class is
+// scored against cheap features and per-family history, dispatched to the
+// prover that fits it (exhaustive sim, conflict-limited SAT, or BDD), and
+// escalated per class when misrouted (see internal/sched).
 const (
 	EngineHybrid    Engine = "hybrid"
 	EngineSim       Engine = "sim"
 	EngineSAT       Engine = "sat"
 	EngineBDD       Engine = "bdd"
 	EnginePortfolio Engine = "portfolio"
+	EngineSched     Engine = "sched"
 )
 
 // Options configures a check. The zero value selects the hybrid engine
@@ -238,6 +246,11 @@ type Options struct {
 	// simulation effort in node·word units. Zero disables the cap. See
 	// core.Config.PhaseWorkBudget.
 	PhaseWorkBudget int64
+	// SchedPriors, when non-nil, supplies and accumulates the sched
+	// engine's per-family routing history across checks. The service layer
+	// keeps one store next to its result cache so repeated workloads
+	// converge on the right engines immediately. Other engines ignore it.
+	SchedPriors *SchedPriorStore
 
 	// noFallback disables the hybrid flow's portfolio fallback step. It is
 	// set internally for portfolio members so that a degraded member never
@@ -338,6 +351,10 @@ type Result struct {
 	// SATTime is the time spent in the SAT sweeping backend of the
 	// hybrid flow.
 	SATTime time.Duration
+	// Sched describes the class scheduler's run when the sched engine was
+	// used: per-engine routing counts, escalations, shared
+	// counter-examples and example classes.
+	Sched *SchedStats
 	// Reduced is the final miter (empty when proved).
 	Reduced *AIG
 }
@@ -384,6 +401,8 @@ func checkMiter(m *AIG, o Options) (Result, error) {
 		return runBDD(m, o), nil
 	case EnginePortfolio:
 		return runPortfolio(m, o), nil
+	case EngineSched:
+		return runSched(m, o, dev), nil
 	default:
 		return Result{}, fmt.Errorf("simsweep: unknown engine %q", o.Engine)
 	}
@@ -470,6 +489,51 @@ func runSAT(m *AIG, o Options, dev *par.Device) Result {
 		CEX:        sr.CEX,
 		EngineUsed: "sat",
 		SATTime:    sr.Stats.Runtime,
+		Reduced:    sr.Reduced,
+	}
+}
+
+// SchedStats re-exports the class scheduler's run statistics.
+type SchedStats = sched.Stats
+
+// SchedPriorStore re-exports the scheduler's per-family prior store (see
+// internal/sched.Store): bounded, concurrency-safe, keyed by miter family
+// fingerprint. A nil store is a valid no-op.
+type SchedPriorStore = sched.Store
+
+// NewSchedPriorStore returns a prior store bounded to cap families
+// (cap<=0 selects a default of 1024).
+func NewSchedPriorStore(cap int) *SchedPriorStore { return sched.NewStore(cap) }
+
+func outcomeOfSched(o sched.Outcome) Outcome {
+	switch o {
+	case sched.Equivalent:
+		return Equivalent
+	case sched.NotEquivalent:
+		return NotEquivalent
+	}
+	return Undecided
+}
+
+func runSched(m *AIG, o Options, dev *par.Device) Result {
+	sr := sched.CheckMiter(m, sched.Options{
+		Dev:           dev,
+		ConflictLimit: o.ConflictLimit,
+		Seed:          o.Seed,
+		Stop:          o.Stop,
+		Priors:        o.SchedPriors,
+		Trace:         o.Trace,
+		Faults:        o.Faults,
+	})
+	stats := sr.Stats
+	return Result{
+		Outcome:    outcomeOfSched(sr.Outcome),
+		Stopped:    sr.Stopped,
+		Degraded:   len(sr.Faults) > 0,
+		Faults:     sr.Faults,
+		CEX:        sr.CEX,
+		EngineUsed: "sched",
+		Sched:      &stats,
 		Reduced:    sr.Reduced,
 	}
 }
