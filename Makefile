@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test doccheck race service-race trace-race cluster-race bench benchtab bench-service bench-cluster fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault bench-cuts bench-sched
+.PHONY: all build test doccheck race service-race trace-race cluster-race cube-race bench benchtab bench-service bench-cluster fuzz fuzz-soak bench-difftest chaos soak-faults bench-fault bench-cuts bench-sched bench-cube
 
-all: build doccheck test fuzz chaos cluster-race bench-cuts bench-sched
+all: build doccheck test fuzz chaos cluster-race cube-race bench-cuts bench-sched bench-cube
 
 build:
 	$(GO) build ./...
@@ -101,6 +101,21 @@ bench-cuts:
 # BENCH_sched.json. Any verdict disagreement fails the run.
 bench-sched:
 	$(GO) run ./cmd/benchtab -sched
+
+# Race-detector pass over the cube-and-conquer prover: the decomposition
+# property tests, the hard-miter acceptance experiment and the chaos matrix
+# rows that sabotage cube solves mid-flight.
+cube-race:
+	$(GO) test -race ./internal/cube/
+	$(GO) test -race -run 'TestChaos' ./internal/fault/
+
+# Hard-miter experiment: starved sim + conflict-budgeted SAT baselines vs
+# the cube-and-conquer prover on Booth-vs-array multiplier miters, written
+# to BENCH_cube.json. Every verdict is oracle-cross-checked; any
+# contradiction, missing counter-example or absent demonstrator row fails
+# the run.
+bench-cube:
+	$(GO) run ./cmd/benchtab -cube
 
 # Replay a generated-miter workload through the service layer and write
 # throughput + cache hit rate to BENCH_service.json.

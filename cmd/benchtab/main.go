@@ -15,6 +15,9 @@
 //	                         family (BENCH_cuts.json)
 //	benchtab -sched          adaptive class scheduler vs each forced single
 //	                         prover on every family (BENCH_sched.json)
+//	benchtab -cube           hard-miter experiment: starved sim + budgeted
+//	                         SAT baselines vs the cube-and-conquer prover
+//	                         on Booth-vs-array miters (BENCH_cube.json)
 //
 // -size scales the instances (1 = quick, 2 = larger); -only restricts to a
 // comma-separated list of families.
@@ -69,6 +72,8 @@ func run() int {
 	schedBench := flag.Bool("sched", false, "compare the adaptive class scheduler against each forced single prover on every family")
 	schedJSON := flag.String("schedjson", "BENCH_sched.json", "class-scheduler benchmark report path")
 	schedBudget := flag.Duration("sched-budget", 90*time.Second, "wall-clock budget per forced single-prover baseline run for -sched (0: unlimited)")
+	cubeBench := flag.Bool("cube", false, "run the hard-miter experiment: starved sim + budgeted SAT baselines vs the cube-and-conquer prover on Booth-vs-array miters")
+	cubeJSON := flag.String("cubejson", "BENCH_cube.json", "cube benchmark report path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
 
@@ -85,6 +90,13 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *cubeBench {
+		if err := runCubeBench(*cubeJSON, *size, *workers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			return 2
+		}
+		return 0
+	}
 	if *schedBench {
 		if err := runSchedBench(*schedJSON, *size, *only, *workers, *seed, *schedBudget); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -181,6 +193,15 @@ func run() int {
 		fmt.Println("\n=== Table II: runtime comparison ===")
 		fmt.Print(bench.FormatTable2(rows))
 		fmt.Println()
+		// The three columns are independent deciders on the same miter: any
+		// disagreement among decided verdicts is an engine bug, and a
+		// benchmark that silently tabulates contradictory answers is worse
+		// than one that fails.
+		if bad := table2Disagreements(rows); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "benchtab: verdict disagreement in Table II on: %s\n",
+				strings.Join(bad, ", "))
+			return 2
+		}
 	}
 	if *fig == 6 || *fig == 67 {
 		rows := make([]bench.Figure6Row, 0, len(instances))
@@ -222,6 +243,29 @@ func run() int {
 		fmt.Printf("\nkernel statistics written to %s\n", *benchJSON)
 	}
 	return 0
+}
+
+// table2Disagreements returns the families whose Table II columns (abc,
+// cfm, ours) produced contradictory decided verdicts. Undecided columns are
+// tolerated — a budgeted baseline may starve — but two decided columns must
+// agree.
+func table2Disagreements(rows []bench.Table2Row) []string {
+	var bad []string
+	for _, row := range rows {
+		decided := ""
+		for _, v := range row.Verdicts {
+			if v == "" || v == "undecided" {
+				continue
+			}
+			if decided == "" {
+				decided = v
+			} else if v != decided {
+				bad = append(bad, fmt.Sprintf("%s %v", row.Case, row.Verdicts))
+				break
+			}
+		}
+	}
+	return bad
 }
 
 // kernelRecord is one row of the machine-readable kernel profile: the

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cec [-engine hybrid|sim|sat|bdd|portfolio|sched] a.aig b.aig
+//	cec [-engine hybrid|sim|sat|bdd|portfolio|sched|cube] a.aig b.aig
 //	cec -sched -sched-stats a.aig b.aig
 //	cec -miter m.aig
 //	cec -trace out.json -phase-report a.aig b.aig
@@ -28,7 +28,7 @@ func main() {
 }
 
 func run() int {
-	engine := flag.String("engine", "hybrid", "checking engine: hybrid, sim, sat, bdd, portfolio, sched")
+	engine := flag.String("engine", "hybrid", "checking engine: hybrid, sim, sat, bdd, portfolio, sched, cube")
 	schedFlag := flag.Bool("sched", false, "route each candidate class to the best-fitting prover (shorthand for -engine sched)")
 	schedStats := flag.Bool("sched-stats", false, "print the scheduler's per-engine routing table (implies -sched)")
 	miterPath := flag.String("miter", "", "check a prebuilt miter instead of two circuits")
@@ -41,7 +41,7 @@ func run() int {
 	verbose := flag.Bool("v", false, "print per-phase statistics")
 	tracePath := flag.String("trace", "", "record an execution trace and write it as Chrome trace_event JSON to this file (load in Perfetto)")
 	phaseReport := flag.Bool("phase-report", false, "print the traced phase breakdown table (implies tracing)")
-	faults := flag.String("faults", "", "inject faults: 'hook:p=0.1,at=3,every=2,limit=1,delay=5ms;...' (hooks: par.worker.panic, sim.round.stall, satsweep.pair.oom, service.runner.crash)")
+	faults := flag.String("faults", "", "inject faults: 'hook:p=0.1,at=3,every=2,limit=1,delay=5ms;...' (hooks: par.worker.panic, sim.round.stall, satsweep.pair.oom, cube.solve.panic, service.runner.crash)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic fault hooks")
 	phaseBudget := flag.Duration("phase-budget", 0, "wall-clock watchdog per simulation phase; a phase over budget is cancelled and the check degrades (0: off)")
 	cutK := flag.Int("cut-k", 0, "max cut size k_l for local function checking (0: paper default 8)")

@@ -1,0 +1,124 @@
+package cube
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"simsweep/internal/aig"
+)
+
+// rankCutset orders the miter's internal AND nodes by how well they would
+// split the SAT search space, best first, and returns up to want node ids.
+//
+// The score is built from state the sweeping flow already computes:
+//
+//   - the bit-balance entropy of the node's simulation signature — a node
+//     whose signature is near half ones genuinely bisects the sampled input
+//     space, while a skewed node wastes one of its two cubes on a sliver;
+//   - the structural fanout — fixing a high-fanout node propagates
+//     constants into many cones at once, which is what makes the per-cube
+//     CNF collapse under unit propagation;
+//   - the node's depth relative to the deepest level — the miter's
+//     comparison logic sits near the POs, so frontier nodes close to the
+//     dominator cut between the two circuit copies and the XOR stage carry
+//     the most shared structure per fixed bit.
+//
+// Nodes whose signatures duplicate (or complement) an already-ranked
+// node's are skipped: fixing both would make half the cubes vacuous.
+// Constant-looking signatures (zero entropy) are kept only as a fallback
+// tail, ranked by fanout, so tiny or starved miters still yield a cutset.
+func rankCutset(g *aig.AIG, sims [][]uint64, want int) []int32 {
+	if want <= 0 {
+		return nil
+	}
+	fanout := g.FanoutCounts()
+	levels := g.Levels()
+	maxLevel := 1
+	for _, l := range levels {
+		if int(l) > maxLevel {
+			maxLevel = int(l)
+		}
+	}
+	type cand struct {
+		id    int32
+		score float64
+	}
+	var scored, flat []cand
+	for id := 1; id < g.NumNodes(); id++ {
+		if !g.IsAnd(id) {
+			continue
+		}
+		ent := sigEntropy(sims[id])
+		if ent == 0 {
+			flat = append(flat, cand{id: int32(id), score: float64(fanout[id])})
+			continue
+		}
+		fo := float64(fanout[id])
+		depth := float64(levels[id]) / float64(maxLevel)
+		score := ent * (1 + math.Log2(1+fo)) * (0.25 + 0.75*depth)
+		scored = append(scored, cand{id: int32(id), score: score})
+	}
+	byScore := func(c []cand) {
+		sort.Slice(c, func(i, j int) bool {
+			if c[i].score != c[j].score {
+				return c[i].score > c[j].score
+			}
+			return c[i].id < c[j].id // deterministic tie-break
+		})
+	}
+	byScore(scored)
+	byScore(flat)
+
+	seen := make(map[uint64]bool)
+	out := make([]int32, 0, want)
+	take := func(c []cand) {
+		for _, cd := range c {
+			if len(out) >= want {
+				return
+			}
+			h, hc := sigHashes(sims[cd.id])
+			if seen[h] || seen[hc] {
+				continue
+			}
+			seen[h] = true
+			out = append(out, cd.id)
+		}
+	}
+	take(scored)
+	take(flat)
+	return out
+}
+
+// sigEntropy computes the bit-balance Shannon entropy of a signature:
+// 0 for a constant-looking node, 1 for a perfectly balanced one.
+func sigEntropy(sig []uint64) float64 {
+	if len(sig) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, w := range sig {
+		ones += bits.OnesCount64(w)
+	}
+	total := len(sig) * 64
+	p := float64(ones) / float64(total)
+	if p == 0 || p == 1 {
+		return 0
+	}
+	return -(p*math.Log2(p) + (1-p)*math.Log2(1-p))
+}
+
+// sigHashes returns FNV-1a hashes of a signature and of its complement, so
+// callers can drop cutset candidates that mirror an already-chosen node.
+func sigHashes(sig []uint64) (h, hc uint64) {
+	h, hc = 1469598103934665603, 1469598103934665603
+	for _, w := range sig {
+		for s := 0; s < 64; s += 8 {
+			h ^= (w >> s) & 0xff
+			h *= 1099511628211
+			hc ^= (^w >> s) & 0xff
+			hc *= 1099511628211
+		}
+	}
+	return h, hc
+}

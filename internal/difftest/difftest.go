@@ -191,11 +191,12 @@ func extConfig() *core.Config {
 // configurations (paper defaults, a starved windowing configuration, the
 // all-extensions configuration and a starved cut-enumeration
 // configuration), the hybrid flow, standalone SAT
-// sweeping with unlimited conflicts, the BDD engine, the portfolio and the
-// class scheduler (adaptive per-class routing with an unlimited backstop).
-// The oracle, hybrid, SAT, BDD, portfolio and sched backends are complete
-// on the small circuits the harness generates; the sim-only backends may
-// return Undecided, which the harness tolerates.
+// sweeping with unlimited conflicts, the BDD engine, the portfolio, the
+// class scheduler (adaptive per-class routing with an unlimited backstop)
+// and the cube-and-conquer decomposition prover (unlimited final depth).
+// The oracle, hybrid, SAT, BDD, portfolio, sched and cube backends are
+// complete on the small circuits the harness generates; the sim-only
+// backends may return Undecided, which the harness tolerates.
 //
 // workers bounds each backend's parallel device (0: all CPUs); seed drives
 // the backends' internal random stimulus (independent of case generation).
@@ -237,5 +238,6 @@ func DefaultBackendsWithFaults(workers int, seed int64, spec string) ([]Backend,
 		facadeBackend("bdd", true, workers, seed, nil, simsweep.EngineBDD, spec),
 		facadeBackend("portfolio", true, workers, seed, nil, simsweep.EnginePortfolio, spec),
 		facadeBackend("sched", true, workers, seed, nil, simsweep.EngineSched, spec),
+		facadeBackend("cube", true, workers, seed, nil, simsweep.EngineCube, spec),
 	}, nil
 }

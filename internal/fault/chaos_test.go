@@ -125,6 +125,7 @@ func TestChaosMatrix(t *testing.T) {
 		simsweep.EngineSAT,
 		simsweep.EnginePortfolio,
 		simsweep.EngineSched,
+		simsweep.EngineCube,
 	}
 	specs := []struct {
 		name string
@@ -134,7 +135,8 @@ func TestChaosMatrix(t *testing.T) {
 		{"worker-panic-first", "par.worker.panic:at=1"},
 		{"round-stall", "sim.round.stall:p=0.5,delay=2ms"},
 		{"sat-oom", "satsweep.pair.oom:p=0.3"},
-		{"everything", "par.worker.panic:p=0.25;sim.round.stall:p=0.25,delay=1ms;satsweep.pair.oom:p=0.25"},
+		{"cube-panic", "cube.solve.panic:p=0.5"},
+		{"everything", "par.worker.panic:p=0.25;sim.round.stall:p=0.25,delay=1ms;satsweep.pair.oom:p=0.25;cube.solve.panic:p=0.25"},
 	}
 
 	for _, f := range families(t) {
@@ -228,6 +230,30 @@ func TestChaosGuaranteedDegradation(t *testing.T) {
 		}
 		if res.Outcome != simsweep.Undecided {
 			t.Fatalf("recovered sweep outcome = %v, want undecided", res.Outcome)
+		}
+	})
+
+	t.Run("cube/solve-panic-every", func(t *testing.T) {
+		// Panic every cube solve: no cube is ever proved, the Equivalent
+		// verdict is blocked and the run degrades to Undecided with the
+		// recovered panics on the chain — sabotage costs the answer, never
+		// inverts it.
+		dev := simsweep.NewDevice(4)
+		in, _ := simsweep.ParseFaults("cube.solve.panic", 1)
+		res, err := simsweep.CheckMiter(mult.miter, simsweep.Options{
+			Engine: simsweep.EngineCube, Dev: dev, Seed: 1, Faults: in,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Degraded || len(res.Faults) == 0 {
+			t.Fatalf("all-cubes-panicking run not reported: degraded=%v faults=%v", res.Degraded, res.Faults)
+		}
+		if res.Outcome != simsweep.Undecided {
+			t.Fatalf("faulted cube run outcome = %v, want undecided", res.Outcome)
+		}
+		if res.Cube == nil || res.Cube.Unknown == 0 {
+			t.Fatalf("faulted run reports no open cubes: %+v", res.Cube)
 		}
 	})
 

@@ -150,7 +150,7 @@ func MultiplierBooth(width int) (*aig.AIG, error) {
 
 // ExtraNames lists the additional families.
 func ExtraNames() []string {
-	return []string{"ksadder", "barrel", "alu", "boothmul"}
+	return []string{"ksadder", "barrel", "alu", "boothmul", "boothmiter", "boothmiterneq"}
 }
 
 // init-time hook: extend Benchmark's name space via a second lookup.
@@ -167,6 +167,12 @@ func extraBenchmark(name string, scale int) (*aig.AIG, error, bool) {
 		return g, err, true
 	case "boothmul":
 		g, err := MultiplierBooth(scale)
+		return g, err, true
+	case "boothmiter":
+		g, err := BoothArrayMiter(scale, false)
+		return g, err, true
+	case "boothmiterneq":
+		g, err := BoothArrayMiter(scale, true)
 		return g, err, true
 	}
 	return nil, fmt.Errorf("unknown"), false

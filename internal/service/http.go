@@ -22,7 +22,7 @@ type JobRequest struct {
 	B     string `json:"b,omitempty"`
 	Miter string `json:"miter,omitempty"`
 
-	Engine        string `json:"engine,omitempty"` // hybrid|sim|sat|bdd|portfolio|sched
+	Engine        string `json:"engine,omitempty"` // hybrid|sim|sat|bdd|portfolio|sched|cube
 	Seed          int64  `json:"seed,omitempty"`
 	ConflictLimit int64  `json:"conflict_limit,omitempty"`
 	TimeoutMS     int64  `json:"timeout_ms,omitempty"`
@@ -258,7 +258,8 @@ func DecodeRequest(body JobRequest) (Request, error) {
 	}
 	switch req.Engine {
 	case "", simsweep.EngineHybrid, simsweep.EngineSim, simsweep.EngineSAT,
-		simsweep.EngineBDD, simsweep.EnginePortfolio, simsweep.EngineSched:
+		simsweep.EngineBDD, simsweep.EnginePortfolio, simsweep.EngineSched,
+		simsweep.EngineCube:
 	default:
 		return Request{}, fmt.Errorf("unknown engine %q", body.Engine)
 	}

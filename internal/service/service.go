@@ -229,6 +229,8 @@ type Service struct {
 	requeues      uint64            // jobs re-queued after a runner crash
 	degraded      uint64            // jobs whose result reported Degraded
 	schedClasses  map[string]uint64 // sched-engine classes routed, by engine name
+	cubeCubes     uint64            // cubes solved by the cube engine, all jobs
+	cubeSplits    uint64            // timed-out cubes the cube engine re-split
 
 	// schedPriors is the sched engine's per-family routing history; it
 	// lives next to the result cache so repeated workloads converge on the
@@ -707,6 +709,10 @@ func (s *Service) runJob(j *job, dev *par.Device) {
 			s.schedClasses[e] += row.Routed
 		}
 	}
+	if res.Cube != nil {
+		s.cubeCubes += uint64(res.Cube.Cubes)
+		s.cubeSplits += uint64(res.Cube.Splits)
+	}
 	s.finishLocked(j)
 	s.mu.Unlock()
 	s.logf("job %s: %s", j.ID, j.State)
@@ -850,6 +856,10 @@ type Stats struct {
 	// SchedClasses counts the classes the sched engine routed, by engine
 	// name, across every job the service ran (nil until a sched job ran).
 	SchedClasses map[string]uint64
+	// CubeCubes counts the cubes the cube engine solved across every job;
+	// CubeSplits the timed-out cubes it re-split.
+	CubeCubes  uint64
+	CubeSplits uint64
 }
 
 // Stats returns the current counters.
@@ -887,6 +897,8 @@ func (s *Service) Stats() Stats {
 		Degraded:      s.degraded,
 		FaultsByHook:  s.cfg.Faults.Counts(),
 		SchedClasses:  sched,
+		CubeCubes:     s.cubeCubes,
+		CubeSplits:    s.cubeSplits,
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"simsweep/internal/aiger"
 	"simsweep/internal/bdd"
 	"simsweep/internal/core"
+	"simsweep/internal/cube"
 	"simsweep/internal/fault"
 	"simsweep/internal/gen"
 	"simsweep/internal/miter"
@@ -186,7 +187,11 @@ type Engine string
 // ladder with per-class routing: every candidate equivalence class is
 // scored against cheap features and per-family history, dispatched to the
 // prover that fits it (exhaustive sim, conflict-limited SAT, or BDD), and
-// escalated per class when misrouted (see internal/sched).
+// escalated per class when misrouted (see internal/sched). EngineCube is
+// the cube-and-conquer decomposition prover for adversarial near-miss
+// miters: a simulation-scored cutset splits the SAT question into 2^k
+// cubes solved in parallel with per-cube conflict budgets and dynamic
+// re-splitting (see internal/cube).
 const (
 	EngineHybrid    Engine = "hybrid"
 	EngineSim       Engine = "sim"
@@ -194,6 +199,7 @@ const (
 	EngineBDD       Engine = "bdd"
 	EnginePortfolio Engine = "portfolio"
 	EngineSched     Engine = "sched"
+	EngineCube      Engine = "cube"
 )
 
 // Options configures a check. The zero value selects the hybrid engine
@@ -271,6 +277,7 @@ type FaultInjector = fault.Injector
 //	par.worker.panic      panic inside a parallel kernel chunk
 //	sim.round.stall       stall an exhaustive-simulation round
 //	satsweep.pair.oom     resource blow-up before a SAT pair query
+//	cube.solve.panic      blow-up inside one cube of the cube engine
 //	service.runner.crash  crash a service runner picking up a job
 //
 // All randomness derives from seed, so a spec+seed pair provokes the same
@@ -355,6 +362,9 @@ type Result struct {
 	// used: per-engine routing counts, escalations, shared
 	// counter-examples and example classes.
 	Sched *SchedStats
+	// Cube describes the cube-and-conquer run when the cube engine was
+	// used: cutset size, cubes solved, re-splits and conflicts.
+	Cube *CubeStats
 	// Reduced is the final miter (empty when proved).
 	Reduced *AIG
 }
@@ -403,6 +413,8 @@ func checkMiter(m *AIG, o Options) (Result, error) {
 		return runPortfolio(m, o), nil
 	case EngineSched:
 		return runSched(m, o, dev), nil
+	case EngineCube:
+		return runCube(m, o, dev), nil
 	default:
 		return Result{}, fmt.Errorf("simsweep: unknown engine %q", o.Engine)
 	}
@@ -538,6 +550,63 @@ func runSched(m *AIG, o Options, dev *par.Device) Result {
 	}
 }
 
+// CubeStats re-exports the cube-and-conquer backend's run statistics.
+type CubeStats = cube.Stats
+
+func outcomeOfCube(o cube.Outcome) Outcome {
+	switch o {
+	case cube.Equivalent:
+		return Equivalent
+	case cube.NotEquivalent:
+		return NotEquivalent
+	}
+	return Undecided
+}
+
+// runCube runs the cube-and-conquer decomposition prover. When a sched
+// prior store is supplied, the run's outcome is folded into the miter
+// family's history under the "cube" pseudo-engine — like the scheduler's
+// "backstop" pseudo-engine, it never sits on a class ladder, but it tells
+// future routing policy (and operators reading the store) when
+// decomposition wins on a family that stalls the other provers.
+func runCube(m *AIG, o Options, dev *par.Device) Result {
+	start := time.Now()
+	cr := cube.CheckMiter(m, cube.Options{
+		Dev:           dev,
+		Seed:          o.Seed,
+		ConflictLimit: o.ConflictLimit,
+		Stop:          o.Stop,
+		Trace:         o.Trace,
+		Faults:        o.Faults,
+	})
+	stats := cr.Stats
+	if o.SchedPriors != nil {
+		delta := sched.EnginePrior{
+			Attempts:  1,
+			Conflicts: uint64(stats.SATConflicts),
+			TimeNS:    uint64(time.Since(start)),
+		}
+		if cr.Outcome != cube.Undecided {
+			delta.Wins = 1
+		} else {
+			delta.Escalations = 1
+		}
+		o.SchedPriors.Merge(m.Fingerprint(), sched.Priors{
+			ByEngine: map[string]sched.EnginePrior{"cube": delta},
+		})
+	}
+	return Result{
+		Outcome:    outcomeOfCube(cr.Outcome),
+		Stopped:    cr.Stopped,
+		Degraded:   len(cr.Faults) > 0,
+		Faults:     cr.Faults,
+		CEX:        cr.CEX,
+		EngineUsed: "cube",
+		Cube:       &stats,
+		Reduced:    m,
+	}
+}
+
 func runBDD(m *AIG, o Options) Result {
 	equal, cex, err := bdd.CheckMiter(m, o.BDDNodeLimit)
 	r := Result{EngineUsed: "bdd", Reduced: m}
@@ -614,10 +683,11 @@ func runHybrid(m *AIG, o Options, dev *par.Device) Result {
 	return r
 }
 
-// runPortfolio races the hybrid flow, standalone SAT sweeping and the BDD
-// engine, first definitive verdict wins — the execution model the paper
-// attributes to commercial multi-engine checkers. An external Options.Stop
-// is merged with the portfolio's own loser-cancellation channel.
+// runPortfolio races the hybrid flow, standalone SAT sweeping, the BDD
+// engine and the cube-and-conquer decomposition prover, first definitive
+// verdict wins — the execution model the paper attributes to commercial
+// multi-engine checkers. An external Options.Stop is merged with the
+// portfolio's own loser-cancellation channel.
 //
 // Each racing member gets its own fault-armed device, so injected faults
 // exercise the members independently; a member that degrades to Undecided
@@ -669,6 +739,23 @@ func runPortfolio(m *AIG, o Options) Result {
 			Name: "bdd",
 			Run: func(mm *AIG, stop <-chan struct{}) (portfolio.Verdict, []bool) {
 				r := runBDD(mm, o)
+				return portfolioVerdict(r.Outcome), r.CEX
+			},
+		},
+		{
+			Name: "cube",
+			Run: func(mm *AIG, stop <-chan struct{}) (portfolio.Verdict, []bool) {
+				dev := par.NewDevice(o.Workers)
+				if o.Faults != nil {
+					dev.SetFaults(o.Faults)
+					defer dev.SetFaults(nil)
+				}
+				oo := o
+				oo.Stop = mergeStop(stop, o.Stop)
+				oo.Seed = o.Seed + 2
+				oo.Trace = nil // racing members are not traced
+				r := runCube(mm, oo, dev)
+				addFaults(&fmu, &faults, r.Faults)
 				return portfolioVerdict(r.Outcome), r.CEX
 			},
 		},
